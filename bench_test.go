@@ -1,0 +1,225 @@
+// Benchmarks regenerating the paper's evaluation numbers (§4) and the
+// ablation measurements, one per experiment ID in DESIGN.md §4. The same
+// measurement logic backs cmd/neutbench; these testing.B variants are the
+// canonical way to re-measure on new hardware:
+//
+//	go test -bench=. -benchmem
+//
+// Paper reference points (AMD Opteron 2.6 GHz, Click/Linux 2.6, 2006):
+// key setup 24.4 kpps; data path 422 kpps vs vanilla 600 kpps (0.70x);
+// raw crypto 2.35M ops/s. Shape, not absolute values, is the target.
+package netneutral_test
+
+import (
+	"crypto/rand"
+	"net/netip"
+	"testing"
+
+	"netneutral/internal/core"
+	"netneutral/internal/crypto/aesutil"
+	"netneutral/internal/eval"
+	"netneutral/internal/onion"
+)
+
+func mustEnv(b *testing.B, offload, alt bool) *eval.BenchEnv {
+	b.Helper()
+	env, err := eval.NewBenchEnv(offload, alt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+// BenchmarkKeySetup is E1: one key-setup response per iteration
+// (RSA-512 e=3 encryption at the neutralizer). Paper: 24.4 kpps.
+func BenchmarkKeySetup(b *testing.B) {
+	env := mustEnv(b, false, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Neut.Process(env.SetupPkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDataPath is E3's neutralized side: per-packet session-key
+// recomputation, hidden-address decryption and header rewrite for the
+// paper's 64-byte-payload packet. Paper: 422 kpps.
+func BenchmarkDataPath(b *testing.B) {
+	env := mustEnv(b, false, false)
+	b.SetBytes(int64(len(env.DataPkt)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Neut.Process(env.DataPkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReturnPath measures the reverse direction: source-address
+// encryption and anycast substitution.
+func BenchmarkReturnPath(b *testing.B) {
+	env := mustEnv(b, false, false)
+	b.SetBytes(int64(len(env.ReturnPkt)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Neut.Process(env.ReturnPkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVanillaForward is E3's baseline: plain IP forwarding work on a
+// packet of the same size. Paper: 600 kpps.
+func BenchmarkVanillaForward(b *testing.B) {
+	env := mustEnv(b, false, false)
+	pkt := env.FreshVanilla()
+	b.SetBytes(int64(len(pkt)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%200 == 199 {
+			b.StopTimer()
+			pkt = env.FreshVanilla() // TTL refill, outside the timer
+			b.StartTimer()
+		}
+		if err := core.VanillaForward(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCryptoOps is E4: the raw symmetric primitive the data path is
+// built from. Paper (openssl): 2.35M ops/s.
+func BenchmarkCryptoOps(b *testing.B) {
+	key := aesutil.Key{1}
+	data := make([]byte, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data[0] = byte(i)
+		_ = aesutil.CBCMAC(key, data)
+	}
+}
+
+// BenchmarkAddrBlockRoundTrip measures the per-packet AES block pair
+// (encrypt at source, decrypt at neutralizer).
+func BenchmarkAddrBlockRoundTrip(b *testing.B) {
+	key := aesutil.Key{1}
+	a := netip.MustParseAddr("10.10.0.5")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ct, err := aesutil.EncryptAddr(key, a, [8]byte{byte(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := aesutil.DecryptAddr(key, ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKeySetupAlternative is A1: the rejected §3.2 design where the
+// neutralizer pays an RSA decryption per setup.
+func BenchmarkKeySetupAlternative(b *testing.B) {
+	env := mustEnv(b, false, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Neut.Process(env.AltPkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKeySetupOffload is A2: neutralizer-side cost when the RSA
+// encryption is delegated to a customer helper (stamp + forward only).
+func BenchmarkKeySetupOffload(b *testing.B) {
+	env := mustEnv(b, true, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Neut.Process(env.SetupPkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnionCircuitSetup is A3's baseline cost: a 3-hop telescoped
+// circuit (3 RSA-1024 decryptions at relays) per flow.
+func BenchmarkOnionCircuitSetup(b *testing.B) {
+	relays := make([]*onion.Relay, 3)
+	for i := range relays {
+		r, err := onion.NewRelay(rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		relays[i] = r
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := onion.BuildCircuit(rand.Reader, relays...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Close()
+	}
+}
+
+// BenchmarkOnionDataCell is A3's per-packet baseline: three onion layers
+// versus the neutralizer's single keyed hash + AES block.
+func BenchmarkOnionDataCell(b *testing.B) {
+	relays := make([]*onion.Relay, 3)
+	for i := range relays {
+		r, err := onion.NewRelay(rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		relays[i] = r
+	}
+	circ, err := onion.BuildCircuit(rand.Reader, relays...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := netip.MustParseAddr("10.10.0.5")
+	payload := make([]byte, 64)
+	b.SetBytes(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := circ.Send(dst, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1Scenario runs the full F1 emulation (both phases) per
+// iteration: an end-to-end regression guard on simulator performance.
+func BenchmarkFigure1Scenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunF1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVoIPScenario runs the A4 emulation per iteration.
+func BenchmarkVoIPScenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunA4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPushbackScenario runs the A5 emulation per iteration.
+func BenchmarkPushbackScenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunA5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Command neutbench regenerates every number, table and figure-level
+// claim from the paper's evaluation (§4) plus the behavioural claims of
+// Figures 1-2 and the §3 design discussions. Each experiment prints
+// paper-vs-measured rows.
+//
+// Usage:
+//
+//	neutbench            # run everything
+//	neutbench -exp E3    # run one experiment
+//	neutbench -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netneutral"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range netneutral.Experiments() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	run := netneutral.Experiments()
+	if *exp != "" {
+		e, ok := netneutral.ExperimentByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "neutbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		run = []netneutral.Experiment{e}
+	}
+	failed := 0
+	for _, e := range run {
+		res, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "neutbench: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(res.String())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,203 @@
+// Command neutralizerd runs a neutralizer over real UDP sockets: the
+// deployable counterpart of the emulated experiments.
+//
+// Transport model: since the daemon cannot inject raw IP packets without
+// privileges, serialized IPv4 shim packets ride inside UDP datagrams
+// (IPv4-in-UDP tunneling). Peers register the inner IPv4 address they
+// own, either implicitly (the daemon learns the mapping from the source
+// address of inbound packets) or explicitly with a one-byte control
+// frame: 0x00 ‖ IPv4(4).
+//
+// Usage:
+//
+//	neutralizerd -listen :7777 -anycast 10.200.0.1 -customers 10.10.0.0/16
+//
+// Flags configure the master-key root (hex; random if empty), the epoch
+// length, and the optional dynamic-address pool.
+package main
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"netneutral"
+	"netneutral/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", ":7777", "UDP listen address")
+	anycastFlag := flag.String("anycast", "10.200.0.1", "anycast service address (inner IPv4)")
+	customers := flag.String("customers", "10.10.0.0/16", "comma-separated customer prefixes")
+	rootHex := flag.String("root", "", "32-hex-char master key root (random if empty)")
+	epoch := flag.Duration("epoch", time.Hour, "master key epoch length")
+	dynPool := flag.String("dynpool", "", "optional dynamic-address pool prefix (enables §3.4 QoS remedy)")
+	statsEvery := flag.Duration("stats", 30*time.Second, "stats logging interval (0 disables)")
+	flag.Parse()
+
+	if err := run(*listen, *anycastFlag, *customers, *rootHex, *epoch, *dynPool, *statsEvery); err != nil {
+		log.Fatalf("neutralizerd: %v", err)
+	}
+}
+
+func run(listen, anycastFlag, customers, rootHex string, epoch time.Duration, dynPool string, statsEvery time.Duration) error {
+	anycast, err := netip.ParseAddr(anycastFlag)
+	if err != nil {
+		return fmt.Errorf("bad -anycast: %w", err)
+	}
+	var prefixes []netip.Prefix
+	for _, p := range strings.Split(customers, ",") {
+		pfx, err := netip.ParsePrefix(strings.TrimSpace(p))
+		if err != nil {
+			return fmt.Errorf("bad -customers entry %q: %w", p, err)
+		}
+		prefixes = append(prefixes, pfx)
+	}
+	var root netneutral.MasterKey
+	if rootHex == "" {
+		b := make([]byte, len(root))
+		if _, err := randRead(b); err != nil {
+			return err
+		}
+		copy(root[:], b)
+		log.Printf("generated master key root %s (replicas must share it)", hex.EncodeToString(root[:]))
+	} else {
+		b, err := hex.DecodeString(rootHex)
+		if err != nil || len(b) != len(root) {
+			return fmt.Errorf("bad -root: want %d hex bytes", len(root))
+		}
+		copy(root[:], b)
+	}
+
+	cfg := netneutral.NeutralizerConfig{
+		Schedule: netneutral.NewKeySchedule(root, time.Now().Truncate(epoch), epoch),
+		Anycast:  anycast,
+		IsCustomer: func(a netip.Addr) bool {
+			for _, p := range prefixes {
+				if p.Contains(a) {
+					return true
+				}
+			}
+			return false
+		},
+	}
+	if dynPool != "" {
+		pfx, err := netip.ParsePrefix(dynPool)
+		if err != nil {
+			return fmt.Errorf("bad -dynpool: %w", err)
+		}
+		cfg.DynAddrPool = pfx
+	}
+	neut, err := netneutral.NewNeutralizer(cfg)
+	if err != nil {
+		return err
+	}
+
+	conn, err := net.ListenPacket("udp", listen)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	log.Printf("neutralizer listening on %s, anycast %v, customers %v", conn.LocalAddr(), anycast, prefixes)
+
+	reg := newRegistry()
+	if statsEvery > 0 {
+		go func() {
+			for range time.Tick(statsEvery) {
+				s := neut.Stats()
+				log.Printf("stats: setups=%d data=%d return=%d grants=%d drops(epoch=%d,block=%d,cust=%d,malformed=%d) peers=%d",
+					s.KeySetups.Load(), s.DataForwarded.Load(), s.ReturnForwarded.Load(),
+					s.GrantsStamped.Load(), s.DropStaleEpoch.Load(), s.DropBadAddrBlock.Load(),
+					s.DropNotCustomer.Load(), s.DropMalformed.Load(), reg.len())
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Print("shutting down")
+		conn.Close()
+	}()
+
+	buf := make([]byte, 64<<10)
+	for {
+		n, from, err := conn.ReadFrom(buf)
+		if err != nil {
+			if isClosed(err) {
+				return nil
+			}
+			return err
+		}
+		pkt := buf[:n]
+		// Control frame: explicit registration.
+		if n >= 5 && pkt[0] == 0x00 {
+			a := netip.AddrFrom4([4]byte(pkt[1:5]))
+			reg.set(a, from)
+			continue
+		}
+		// Learn the sender's inner address.
+		if src, _, err := wire.IPv4Addrs(pkt); err == nil {
+			reg.set(src, from)
+		}
+		outs, err := neut.Process(pkt)
+		if err != nil {
+			continue // counted in stats
+		}
+		for _, o := range outs {
+			_, dst, err := wire.IPv4Addrs(o.Pkt)
+			if err != nil {
+				continue
+			}
+			if peer, ok := reg.get(dst); ok {
+				if _, err := conn.WriteTo(o.Pkt, peer); err != nil && !isClosed(err) {
+					log.Printf("write to %v: %v", peer, err)
+				}
+			}
+		}
+	}
+}
+
+// registry maps inner IPv4 addresses to tunnel endpoints.
+type registry struct {
+	mu sync.RWMutex
+	m  map[netip.Addr]net.Addr
+}
+
+func newRegistry() *registry { return &registry{m: make(map[netip.Addr]net.Addr)} }
+
+func (r *registry) set(a netip.Addr, peer net.Addr) {
+	r.mu.Lock()
+	r.m[a] = peer
+	r.mu.Unlock()
+}
+
+func (r *registry) get(a netip.Addr) (net.Addr, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.m[a]
+	return p, ok
+}
+
+func (r *registry) len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m)
+}
+
+func isClosed(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "use of closed network connection")
+}
+
+func randRead(b []byte) (int, error) { return rand.Read(b) }

@@ -1,0 +1,190 @@
+// Command neutsim runs the paper's Figure 1 scenario on the emulated
+// Internet and narrates what happens: which packets the discriminatory
+// ISP sees, what its classifier catches, and whether the targeted
+// customer's traffic survives.
+//
+// Usage:
+//
+//	neutsim                       # plain vs neutralized, summary
+//	neutsim -neutralize=false     # only the plain phase
+//	neutsim -packets 50 -trace    # per-packet trace of the AT&T segment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	mathrand "math/rand"
+	"net/netip"
+	"time"
+
+	"netneutral"
+	"netneutral/internal/core"
+	"netneutral/internal/crypto/aesutil"
+	"netneutral/internal/endhost"
+	"netneutral/internal/isp"
+	"netneutral/internal/netem"
+	"netneutral/internal/shim"
+	"netneutral/internal/wire"
+)
+
+var (
+	annAddr  = netip.MustParseAddr("172.16.1.10")
+	attAddr  = netip.MustParseAddr("172.16.0.1")
+	anyAddr  = netip.MustParseAddr("10.200.0.1")
+	googAddr = netip.MustParseAddr("10.10.0.5")
+	custNet  = netip.MustParsePrefix("10.10.0.0/16")
+	start    = time.Date(2006, 11, 1, 0, 0, 0, 0, time.UTC)
+)
+
+func main() {
+	packets := flag.Int("packets", 20, "data packets to attempt")
+	neutralize := flag.Bool("neutralize", true, "also run the neutralized phase")
+	trace := flag.Bool("trace", false, "print each packet crossing the discriminatory ISP")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	fmt.Println("== phase 1: plain addressing, ISP targets the customer ==")
+	delivered, hits := runPlain(*packets, *trace, *seed)
+	fmt.Printf("delivered %d/%d; classifier hits %d — deterministic harm\n\n", delivered, *packets, hits)
+
+	if !*neutralize {
+		return
+	}
+	fmt.Println("== phase 2: neutralized, same classifier ==")
+	delivered2, hits2, sawCustomer := runNeutralized(*packets, *trace, *seed+1)
+	fmt.Printf("delivered %d/%d; classifier hits %d; ISP saw customer address: %v\n",
+		delivered2, *packets, hits2, sawCustomer)
+	fmt.Println("the ISP can degrade the supportive ISP's traffic as a whole, but cannot single out the customer")
+}
+
+func buildWorld(seed int64) (*netem.Simulator, *netem.Node, *netem.Node, *netem.Node, *netem.Node, *core.Neutralizer) {
+	sim := netem.NewSimulator(start, seed)
+	ann := sim.MustAddNode("ann", "att", annAddr)
+	att := sim.MustAddNode("att-core", "att", attAddr)
+	border := sim.MustAddNode("cogent-border", "cogent")
+	goog := sim.MustAddNode("google", "cogent", googAddr)
+	sim.Connect(ann, att, netem.LinkConfig{Delay: 2 * time.Millisecond})
+	sim.Connect(att, border, netem.LinkConfig{Delay: 8 * time.Millisecond})
+	sim.Connect(border, goog, netem.LinkConfig{Delay: 2 * time.Millisecond})
+	sim.AddAnycast(anyAddr, border)
+	sim.BuildRoutes()
+
+	neut, err := netneutral.NewNeutralizer(netneutral.NeutralizerConfig{
+		Schedule:   netneutral.NewKeySchedule(aesutil.Key{7}, start, time.Hour),
+		Anycast:    anyAddr,
+		IsCustomer: func(a netip.Addr) bool { return custNet.Contains(a) },
+		Clock:      sim.Now,
+		Rand:       mathrand.New(mathrand.NewSource(seed + 9)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	border.SetHandler(func(_ time.Time, pkt []byte) {
+		outs, err := neut.Process(pkt)
+		if err != nil {
+			return
+		}
+		for _, o := range outs {
+			_ = border.Send(o.Pkt)
+		}
+	})
+	return sim, ann, att, border, goog, neut
+}
+
+func attachTrace(att *netem.Node, trace bool) {
+	if !trace {
+		return
+	}
+	att.AddTransitHook(func(now time.Time, _ *netem.Node, pkt []byte) netem.Verdict {
+		src, dst, err := wire.IPv4Addrs(pkt)
+		if err != nil {
+			return netem.Deliver
+		}
+		proto, _ := wire.IPv4Proto(pkt)
+		kind := fmt.Sprintf("proto=%d", proto)
+		if proto == wire.ProtoShim {
+			if t, ok := shim.PeekType(pkt[wire.IPv4HeaderLen:]); ok {
+				kind = "shim/" + t.String()
+			}
+		}
+		fmt.Printf("  [AT&T sees] %v -> %v  %s  %dB\n", src, dst, kind, len(pkt))
+		return netem.Deliver
+	})
+}
+
+func runPlain(packets int, trace bool, seed int64) (delivered int, hits uint64) {
+	sim, ann, att, _, goog, _ := buildWorld(seed)
+	attachTrace(att, trace)
+	policy := isp.NewPolicy(nil, isp.Rule{
+		Name: "target-google", Match: isp.MatchDstAddr(googAddr), Action: isp.Action{DropProb: 1},
+	})
+	att.AddTransitHook(policy.Hook())
+	goog.SetHandler(func(time.Time, []byte) { delivered++ })
+
+	payload := []byte("GET /")
+	for i := 0; i < packets; i++ {
+		sim.Schedule(time.Duration(i)*10*time.Millisecond, func() {
+			buf := wire.NewSerializeBuffer(28, len(payload))
+			buf.PushPayload(payload)
+			_ = wire.SerializeLayers(buf,
+				&wire.IPv4{TTL: 64, Protocol: wire.ProtoUDP, Src: annAddr, Dst: googAddr},
+				&wire.UDP{SrcPort: 4000, DstPort: 80},
+			)
+			_ = ann.Send(buf.Bytes())
+		})
+	}
+	sim.Run()
+	return delivered, policy.Hits("target-google")
+}
+
+func runNeutralized(packets int, trace bool, seed int64) (delivered int, hits uint64, sawCustomer bool) {
+	sim, ann, att, _, goog, _ := buildWorld(seed)
+	attachTrace(att, trace)
+	policy := isp.NewPolicy(nil, isp.Rule{
+		Name: "target-google", Match: isp.MatchDstAddr(googAddr), Action: isp.Action{DropProb: 1},
+	})
+	eav := isp.NewEavesdropper()
+	att.AddTransitHook(eav.Hook())
+	att.AddTransitHook(policy.Hook())
+
+	mkHost := func(node *netem.Node, s int64) *endhost.Host {
+		id, err := netneutral.NewIdentity(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := endhost.NewHost(endhost.Config{
+			Addr:      node.Addr(),
+			Transport: func(pkt []byte) error { return node.Send(pkt) },
+			Identity:  id,
+			Clock:     sim.Now,
+			Rand:      mathrand.New(mathrand.NewSource(s)),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		node.SetHandler(h.HandlePacket)
+		return h
+	}
+	googleHost := mkHost(goog, seed+21)
+	annHost := mkHost(ann, seed+22)
+	googleHost.SetOnData(func(netip.Addr, []byte) { delivered++ })
+
+	if err := annHost.Setup(anyAddr); err != nil {
+		log.Fatal(err)
+	}
+	sim.RunFor(time.Second)
+	if !annHost.HasConduit(anyAddr) {
+		log.Fatal("neutsim: key setup failed")
+	}
+	if err := annHost.Connect(anyAddr, googAddr, googleHost.Identity()); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < packets; i++ {
+		sim.Schedule(time.Duration(i)*10*time.Millisecond, func() {
+			_ = annHost.Send(googAddr, []byte("GET /"))
+		})
+	}
+	sim.RunFor(2 * time.Second)
+	return delivered, policy.Hits("target-google"), eav.SawAddr(googAddr)
+}

@@ -1,0 +1,91 @@
+// DNS bootstrap (§3.1): a source must learn a destination's address,
+// neutralizer addresses and public key before connecting — and the
+// discriminatory ISP would love to delay exactly those lookups.
+//
+// The ISP installs a DPI rule delaying any packet that names the
+// non-paying site. Plaintext queries eat the delay; encrypted queries to
+// a third-party resolver are indistinguishable and fast.
+//
+//	go run ./examples/dns-bootstrap
+package main
+
+import (
+	"fmt"
+	"log"
+	mathrand "math/rand"
+	"net/netip"
+	"time"
+
+	"netneutral"
+	"netneutral/internal/dnssim"
+	"netneutral/internal/isp"
+	"netneutral/internal/netem"
+)
+
+var (
+	start    = time.Date(2006, 11, 1, 0, 0, 0, 0, time.UTC)
+	client   = netip.MustParseAddr("172.16.1.10")
+	attCore  = netip.MustParseAddr("172.16.0.1")
+	resolver = netip.MustParseAddr("10.50.0.53")
+	google   = netip.MustParseAddr("10.10.0.5")
+	anycast  = netip.MustParseAddr("10.200.0.1")
+)
+
+func main() {
+	sim := netem.NewSimulator(start, 2)
+	cl := sim.MustAddNode("client", "att", client)
+	evil := sim.MustAddNode("att-core", "att", attCore)
+	res := sim.MustAddNode("resolver", "cogent", resolver)
+	sim.Connect(cl, evil, netem.LinkConfig{Delay: 2 * time.Millisecond})
+	sim.Connect(evil, res, netem.LinkConfig{Delay: 8 * time.Millisecond})
+	sim.BuildRoutes()
+
+	id, err := netneutral.NewIdentity(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := dnssim.NewResolver(res, id)
+	r.AddRecord(dnssim.Record{
+		Name: "www.google.com", Addr: google,
+		Neutralizers: []netip.Addr{anycast},
+		PublicKey:    id.Public(), // stand-in key for the demo
+	})
+	r.AddRecord(dnssim.Record{Name: "paying.example", Addr: netip.MustParseAddr("10.10.0.9")})
+
+	policy := isp.NewPolicy(nil, isp.Rule{
+		Name:   "delay-google-dns",
+		Match:  isp.MatchPayloadContains([]byte("www.google.com")),
+		Action: isp.Action{Delay: 500 * time.Millisecond},
+	})
+	evil.AddTransitHook(policy.Hook())
+
+	c := dnssim.NewClient(cl, mathrand.New(mathrand.NewSource(1)))
+	lookup := func(kind, name string, enc bool) {
+		base := sim.Now()
+		var rec dnssim.Record
+		var lookupErr error
+		done := false
+		cb := func(got dnssim.Record, err error) { rec, lookupErr, done = got, err, true }
+		if enc {
+			err = c.LookupEncrypted(resolver, r.Public(), name, cb)
+		} else {
+			err = c.LookupPlain(resolver, name, cb)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim.Run()
+		if !done || lookupErr != nil {
+			log.Fatalf("%s lookup of %s failed: %v", kind, name, lookupErr)
+		}
+		fmt.Printf("%-32s %-18s -> %v, %d neutralizer(s), took %v\n",
+			kind, name, rec.Addr, len(rec.Neutralizers), sim.Now().Sub(base))
+	}
+
+	fmt.Println("ISP rule: +500ms for any packet naming www.google.com")
+	fmt.Println()
+	lookup("plaintext (targeted)", "www.google.com", false)
+	lookup("plaintext (paying site)", "paying.example", false)
+	lookup("encrypted (targeted)", "www.google.com", true)
+	fmt.Printf("\nrule hits: %d — only the plaintext query was classifiable\n", policy.Hits("delay-google-dns"))
+}

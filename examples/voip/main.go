@@ -1,0 +1,179 @@
+// VoIP discrimination: the paper's motivating Vonage story, quantified.
+//
+// A broadband ISP degrades traffic addressed to a competitor's VoIP
+// server while its own service rides clean. Without the neutralizer the
+// competitor's MOS collapses; with it, the classifier cannot find the
+// flow and quality is restored.
+//
+//	go run ./examples/voip                 # defaults: 12% loss, 150ms delay
+//	go run ./examples/voip -loss 0.3 -delay 300ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	mathrand "math/rand"
+	"net/netip"
+	"time"
+
+	"netneutral"
+	"netneutral/internal/endhost"
+	"netneutral/internal/isp"
+	"netneutral/internal/measure"
+	"netneutral/internal/netem"
+	"netneutral/internal/wire"
+)
+
+var (
+	start    = time.Date(2006, 11, 1, 0, 0, 0, 0, time.UTC)
+	userAddr = netip.MustParseAddr("172.16.1.10")
+	attAddr  = netip.MustParseAddr("172.16.0.1")
+	anycast  = netip.MustParseAddr("10.200.0.1")
+	vonage   = netip.MustParseAddr("10.10.0.7")
+	custNet  = netip.MustParsePrefix("10.10.0.0/16")
+)
+
+func main() {
+	loss := flag.Float64("loss", 0.12, "targeted drop probability")
+	delay := flag.Duration("delay", 150*time.Millisecond, "targeted extra delay")
+	frames := flag.Int("frames", 150, "G.711 frames per call (20ms each)")
+	flag.Parse()
+
+	clean := runCall(*frames, 0, 0, false)
+	degraded := runCall(*frames, *loss, *delay, false)
+	cured := runCall(*frames, *loss, *delay, true)
+
+	fmt.Printf("G.711 call, %d frames of 160B every 20ms (64 kbps):\n\n", *frames)
+	fmt.Printf("  %-42s MOS %.2f\n", "ISP's own VoIP (undisturbed path):", clean)
+	fmt.Printf("  %-42s MOS %.2f\n",
+		fmt.Sprintf("competitor, targeted (%.0f%% loss, +%v):", *loss*100, *delay), degraded)
+	fmt.Printf("  %-42s MOS %.2f\n", "competitor, neutralized (same rule):", cured)
+	fmt.Println("\nMOS scale: 4.3+ excellent, 4.0 good, 3.6 fair, <3.1 users abandon the service.")
+}
+
+// runCall builds the Figure-1 world, streams a one-way call from the user
+// to the competitor's VoIP server, and returns the E-model MOS.
+func runCall(frames int, loss float64, delay time.Duration, neutralized bool) float64 {
+	sim := netem.NewSimulator(start, 4)
+	user := sim.MustAddNode("user", "att", userAddr)
+	att := sim.MustAddNode("att-core", "att", attAddr)
+	border := sim.MustAddNode("border", "cogent")
+	server := sim.MustAddNode("vonage", "cogent", vonage)
+	sim.Connect(user, att, netem.LinkConfig{Delay: 2 * time.Millisecond})
+	sim.Connect(att, border, netem.LinkConfig{Delay: 8 * time.Millisecond})
+	sim.Connect(border, server, netem.LinkConfig{Delay: 2 * time.Millisecond})
+	sim.AddAnycast(anycast, border)
+	sim.BuildRoutes()
+
+	if loss > 0 || delay > 0 {
+		policy := isp.NewPolicy(sim.Rand(), isp.Rule{
+			Name:   "degrade-competitor",
+			Match:  isp.MatchDstAddr(vonage),
+			Action: isp.Action{DropProb: loss, Delay: delay},
+		})
+		att.AddTransitHook(policy.Hook())
+	}
+
+	neut, err := netneutral.NewNeutralizer(netneutral.NeutralizerConfig{
+		Schedule:   netneutral.NewKeySchedule(netneutral.MasterKey{7}, start, time.Hour),
+		Anycast:    anycast,
+		IsCustomer: func(a netip.Addr) bool { return custNet.Contains(a) },
+		Clock:      sim.Now,
+		Rand:       mathrand.New(mathrand.NewSource(5)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	border.SetHandler(func(_ time.Time, pkt []byte) {
+		outs, err := neut.Process(pkt)
+		if err != nil {
+			return
+		}
+		for _, o := range outs {
+			_ = border.Send(o.Pkt)
+		}
+	})
+
+	var lost measure.LossCounter
+	var delays measure.Histogram
+	frameAt := func(seq uint64) time.Time {
+		return start.Add(2*time.Second + time.Duration(seq)*20*time.Millisecond)
+	}
+	record := func(now time.Time, payload []byte) {
+		if len(payload) < 8 {
+			return
+		}
+		var seq uint64
+		for i := 0; i < 8; i++ {
+			seq = seq<<8 | uint64(payload[i])
+		}
+		lost.Received++
+		delays.Add(now.Sub(frameAt(seq)))
+	}
+	sendFrame := func(seq uint64, send func(payload []byte)) {
+		sim.ScheduleAt(frameAt(seq), func() {
+			lost.Sent++
+			payload := make([]byte, 160)
+			for i := 0; i < 8; i++ {
+				payload[i] = byte(seq >> (8 * (7 - i)))
+			}
+			send(payload)
+		})
+	}
+
+	if !neutralized {
+		server.SetHandler(func(now time.Time, pkt []byte) {
+			p := wire.ParsePacket(pkt, wire.LayerTypeIPv4)
+			if p.ErrorLayer() == nil {
+				record(now, p.ApplicationPayload())
+			}
+		})
+		for i := 0; i < frames; i++ {
+			sendFrame(uint64(i), func(payload []byte) {
+				buf := wire.NewSerializeBuffer(28, len(payload))
+				buf.PushPayload(payload)
+				_ = wire.SerializeLayers(buf,
+					&wire.IPv4{TTL: 64, Protocol: wire.ProtoUDP, Src: userAddr, Dst: vonage},
+					&wire.UDP{SrcPort: 7078, DstPort: 7078},
+				)
+				_ = user.Send(buf.Bytes())
+			})
+		}
+		sim.Run()
+	} else {
+		mk := func(node *netem.Node, seed int64) *endhost.Host {
+			id, err := netneutral.NewIdentity(0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			h, err := endhost.NewHost(endhost.Config{
+				Addr:      node.Addr(),
+				Transport: func(pkt []byte) error { return node.Send(pkt) },
+				Identity:  id,
+				Clock:     sim.Now,
+				Rand:      mathrand.New(mathrand.NewSource(seed)),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			node.SetHandler(h.HandlePacket)
+			return h
+		}
+		serverHost := mk(server, 31)
+		userHost := mk(user, 32)
+		serverHost.SetOnData(func(_ netip.Addr, data []byte) { record(sim.Now(), data) })
+		if err := userHost.Setup(anycast); err != nil {
+			log.Fatal(err)
+		}
+		sim.RunFor(time.Second)
+		if err := userHost.Connect(anycast, vonage, serverHost.Identity()); err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < frames; i++ {
+			sendFrame(uint64(i), func(payload []byte) { _ = userHost.Send(vonage, payload) })
+		}
+		sim.Run()
+	}
+	return measure.MOS(delays.Mean(), lost.Loss())
+}

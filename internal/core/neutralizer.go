@@ -1,0 +1,541 @@
+// Package core implements the paper's primary contribution: the
+// neutralizer, an efficient and stateless service at the border of a
+// non-discriminatory ISP that hides the ISP's customers' addresses from
+// other ISPs.
+//
+// Statelessness is the load-bearing property. The neutralizer keeps no
+// per-source or per-flow tables: every session key is recomputed from the
+// packet itself as Ks = hash(KM, nonce, srcIP), so any replica sharing
+// the master-key schedule can process any packet (the anycast property),
+// a crashed replica loses nothing, and memory does not grow with load.
+// The only optional state is the dynamic-address table of the §3.4 QoS
+// remedy, which exists per explicitly-requested QoS flow, and monotonic
+// counters.
+//
+// A Neutralizer is transport-agnostic: Process consumes one serialized
+// IPv4 packet and returns the packets to emit. The same core runs inside
+// the netem emulator, behind real UDP sockets (cmd/neutralizerd), and in
+// the benchmark harness.
+package core
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netneutral/internal/crypto/aesutil"
+	"netneutral/internal/crypto/keys"
+	"netneutral/internal/crypto/lightrsa"
+	"netneutral/internal/shim"
+	"netneutral/internal/wire"
+)
+
+// Errors returned by Process.
+var (
+	ErrNotShim          = errors.New("core: packet is not a shim packet")
+	ErrStaleEpoch       = errors.New("core: packet epoch outside acceptance window")
+	ErrBadAddrBlock     = errors.New("core: hidden address block failed check")
+	ErrNotCustomer      = errors.New("core: decrypted destination is not a customer")
+	ErrNotFromCustomer  = errors.New("core: return packet source is not a customer")
+	ErrBadSetup         = errors.New("core: malformed key-setup request")
+	ErrNoAltIdentity    = errors.New("core: alternative mode not configured")
+	ErrUnhandledType    = errors.New("core: shim type not handled by neutralizer")
+	ErrDynPoolExhausted = errors.New("core: dynamic address pool exhausted")
+)
+
+// Config configures a Neutralizer.
+type Config struct {
+	// Schedule is the master-key schedule shared by all replicas of the
+	// domain. Required.
+	Schedule *keys.Schedule
+	// Anycast is the neutralizer service address all customers publish.
+	// Required.
+	Anycast netip.Addr
+	// IsCustomer reports whether an address belongs to this ISP's
+	// customers (the set the neutralizer protects). Required.
+	IsCustomer func(netip.Addr) bool
+	// Clock supplies time (virtual in emulation). Defaults to time.Now.
+	Clock func() time.Time
+	// Rand supplies entropy for nonces and salts. Defaults to
+	// crypto/rand.Reader.
+	Rand io.Reader
+	// Offload, when non-nil, delegates key-setup RSA encryptions to
+	// willing customers (§3.2).
+	Offload *OffloadPolicy
+	// AltIdentity enables the §3.2 alternative design: sources encrypt
+	// the destination under this (certified) key and the neutralizer pays
+	// an RSA decryption per setup. Used by the A1 ablation.
+	AltIdentity *lightrsa.PrivateKey
+	// DynAddrPool, when valid, enables the §3.4 dynamic-address QoS
+	// remedy; per-flow visible addresses are allocated from this prefix.
+	DynAddrPool netip.Prefix
+	// OnDynAlloc, if set, is invoked when a dynamic address is allocated
+	// or released, so the hosting node can claim it for routing.
+	OnDynAlloc func(addr netip.Addr, allocated bool)
+}
+
+// OffloadPolicy delegates key-setup encryption to customer helpers in
+// round-robin order.
+type OffloadPolicy struct {
+	// Helpers are customer addresses willing to perform RSA encryptions
+	// (the paper notes a destination like Google has the incentive).
+	Helpers []netip.Addr
+	next    uint64
+}
+
+func (o *OffloadPolicy) pick() (netip.Addr, bool) {
+	if o == nil || len(o.Helpers) == 0 {
+		return netip.Addr{}, false
+	}
+	i := atomic.AddUint64(&o.next, 1)
+	return o.Helpers[int(i)%len(o.Helpers)], true
+}
+
+// Stats are monotonic counters, safe to read concurrently.
+type Stats struct {
+	KeySetups         atomic.Uint64 // key-setup responses produced locally
+	KeySetupsOffload  atomic.Uint64 // key-setups delegated to helpers
+	AltSetups         atomic.Uint64 // alternative-mode setups (RSA decrypt)
+	DataForwarded     atomic.Uint64 // forward-path data packets
+	ReturnForwarded   atomic.Uint64 // return-path data packets
+	GrantsStamped     atomic.Uint64 // fresh (nonce', Ks') grants issued
+	KeyFetches        atomic.Uint64 // §3.3 customer key fetches
+	DropStaleEpoch    atomic.Uint64
+	DropBadAddrBlock  atomic.Uint64
+	DropNotCustomer   atomic.Uint64
+	DropMalformed     atomic.Uint64
+	DynAddrsAllocated atomic.Uint64
+}
+
+// Neutralizer processes shim packets at an ISP border. Safe for
+// concurrent use: the hot path reads only immutable configuration; the
+// optional dynamic-address table has its own lock.
+type Neutralizer struct {
+	cfg   Config
+	stats Stats
+
+	dynMu   sync.Mutex
+	dynFwd  map[dynFlowKey]netip.Addr // (customer, peer) -> dynamic addr
+	dynRev  map[netip.Addr]dynFlowKey
+	dynNext uint64
+}
+
+type dynFlowKey struct {
+	customer netip.Addr
+	peer     netip.Addr
+}
+
+// New creates a Neutralizer. It returns an error if required
+// configuration is missing.
+func New(cfg Config) (*Neutralizer, error) {
+	if cfg.Schedule == nil {
+		return nil, errors.New("core: Config.Schedule is required")
+	}
+	if !cfg.Anycast.Is4() {
+		return nil, errors.New("core: Config.Anycast must be an IPv4 address")
+	}
+	if cfg.IsCustomer == nil {
+		return nil, errors.New("core: Config.IsCustomer is required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = rand.Reader
+	}
+	return &Neutralizer{
+		cfg:    cfg,
+		dynFwd: make(map[dynFlowKey]netip.Addr),
+		dynRev: make(map[netip.Addr]dynFlowKey),
+	}, nil
+}
+
+// Stats returns the counter block.
+func (n *Neutralizer) Stats() *Stats { return &n.stats }
+
+// Anycast returns the service address.
+func (n *Neutralizer) Anycast() netip.Addr { return n.cfg.Anycast }
+
+// Outgoing is a packet the caller must transmit.
+type Outgoing struct {
+	Pkt []byte
+}
+
+// Process handles one serialized IPv4 shim packet addressed to the
+// neutralizer and returns the packets to emit. Non-shim packets yield
+// ErrNotShim (the caller forwards them normally — the neutralizer service
+// is optional, §3.4).
+func (n *Neutralizer) Process(pkt []byte) ([]Outgoing, error) {
+	var ip wire.IPv4
+	if err := ip.DecodeFromBytes(pkt); err != nil {
+		n.stats.DropMalformed.Add(1)
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if ip.Protocol != wire.ProtoShim {
+		return nil, ErrNotShim
+	}
+	var sh shim.Header
+	if err := sh.DecodeFromBytes(ip.Payload()); err != nil {
+		n.stats.DropMalformed.Add(1)
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	switch sh.Type {
+	case shim.TypeKeySetupRequest:
+		return n.processKeySetup(&ip, &sh)
+	case shim.TypeData:
+		return n.processData(&ip, &sh)
+	case shim.TypeReturn:
+		return n.processReturn(&ip, &sh)
+	case shim.TypeKeyFetchRequest:
+		return n.processKeyFetch(&ip, &sh)
+	case shim.TypeAltData:
+		return n.processAltData(&ip, &sh)
+	default:
+		return nil, ErrUnhandledType
+	}
+}
+
+// processKeySetup implements Figure 2(a): derive (nonce, Ks) for the
+// source, RSA-encrypt them under the source's one-time public key, and
+// reply — or delegate the encryption to a customer helper.
+func (n *Neutralizer) processKeySetup(ip *wire.IPv4, sh *shim.Header) ([]Outgoing, error) {
+	pub, _, err := lightrsa.UnmarshalPublicKey(sh.PublicKey)
+	if err != nil {
+		n.stats.DropMalformed.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrBadSetup, err)
+	}
+	now := n.cfg.Clock()
+	nonce, err := keys.NewNonce(n.cfg.Rand)
+	if err != nil {
+		return nil, err
+	}
+	ks, epoch, err := n.cfg.Schedule.SessionKeyAt(now, nonce, ip.Src)
+	if err != nil {
+		n.stats.DropMalformed.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrBadSetup, err)
+	}
+
+	if helper, ok := n.cfg.Offload.pick(); ok {
+		// §3.2 offload: stamp the plaintext grant into the request and
+		// forward it to a willing customer, which performs the RSA
+		// encryption and answers the source itself. The stamped grant
+		// travels only inside the friendly domain.
+		out := &shim.Header{
+			Type:      shim.TypeKeySetupRequest,
+			Flags:     sh.Flags | shim.FlagOffloaded,
+			Epoch:     epoch,
+			PublicKey: sh.PublicKey,
+			Grant:     shim.Grant{Nonce: nonce, Key: ks},
+		}
+		pktOut, err := buildShimPacket(ip.Src, helper, ip.TOS, out, nil)
+		if err != nil {
+			return nil, err
+		}
+		n.stats.KeySetupsOffload.Add(1)
+		return []Outgoing{{Pkt: pktOut}}, nil
+	}
+
+	ct, err := pub.Encrypt(n.cfg.Rand, shim.EncodeSetupPlaintext(nonce, ks))
+	if err != nil {
+		n.stats.DropMalformed.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrBadSetup, err)
+	}
+	resp := &shim.Header{Type: shim.TypeKeySetupResponse, Epoch: epoch, Ciphertext: ct}
+	pktOut, err := buildShimPacket(n.cfg.Anycast, ip.Src, ip.TOS, resp, nil)
+	if err != nil {
+		return nil, err
+	}
+	n.stats.KeySetups.Add(1)
+	return []Outgoing{{Pkt: pktOut}}, nil
+}
+
+// processData implements the forward path (Figure 2(b), packets 3→4):
+// recompute Ks from the packet alone, decrypt the hidden destination,
+// verify it is a customer, and forward with the shim rewritten — stamping
+// a fresh key grant if requested.
+func (n *Neutralizer) processData(ip *wire.IPv4, sh *shim.Header) ([]Outgoing, error) {
+	now := n.cfg.Clock()
+	if !n.cfg.Schedule.Acceptable(sh.Epoch, now) {
+		n.stats.DropStaleEpoch.Add(1)
+		return nil, ErrStaleEpoch
+	}
+	ks, err := n.cfg.Schedule.SessionKey(sh.Epoch, sh.Nonce, ip.Src)
+	if err != nil {
+		n.stats.DropMalformed.Add(1)
+		return nil, err
+	}
+	dst, _, err := aesutil.DecryptAddr(ks, sh.HiddenAddr)
+	if err != nil {
+		n.stats.DropBadAddrBlock.Add(1)
+		return nil, ErrBadAddrBlock
+	}
+	if !n.cfg.IsCustomer(dst) {
+		n.stats.DropNotCustomer.Add(1)
+		return nil, ErrNotCustomer
+	}
+	out := &shim.Header{
+		Type:       shim.TypeDelivered,
+		InnerProto: sh.InnerProto,
+		Epoch:      sh.Epoch,
+		Nonce:      sh.Nonce,
+		ClearAddr:  n.cfg.Anycast,
+	}
+	if sh.Flags&shim.FlagKeyRequest != 0 {
+		// Stamp a fresh grant bound to the same outside source under the
+		// *current* epoch; the destination returns it end-to-end
+		// encrypted and the source retires the short-RSA-protected key.
+		gNonce, err := keys.NewNonce(n.cfg.Rand)
+		if err != nil {
+			return nil, err
+		}
+		gKey, gEpoch, err := n.cfg.Schedule.SessionKeyAt(now, gNonce, ip.Src)
+		if err != nil {
+			return nil, err
+		}
+		out.Flags |= shim.FlagGrant
+		out.Epoch = gEpoch
+		out.Grant = shim.Grant{Nonce: gNonce, Key: gKey}
+		n.stats.GrantsStamped.Add(1)
+	}
+	pktOut, err := buildShimPacket(ip.Src, dst, ip.TOS, out, sh.Payload())
+	if err != nil {
+		return nil, err
+	}
+	n.stats.DataForwarded.Add(1)
+	return []Outgoing{{Pkt: pktOut}}, nil
+}
+
+// processReturn implements the return path (Figure 2(b), packets 5→6):
+// encrypt the customer's address under Ks (recomputed from the initiator
+// address carried in the shim) and substitute the anycast address — or a
+// per-flow dynamic address, or nothing, per the QoS flags.
+func (n *Neutralizer) processReturn(ip *wire.IPv4, sh *shim.Header) ([]Outgoing, error) {
+	if !n.cfg.IsCustomer(ip.Src) {
+		n.stats.DropNotCustomer.Add(1)
+		return nil, ErrNotFromCustomer
+	}
+	now := n.cfg.Clock()
+	if !n.cfg.Schedule.Acceptable(sh.Epoch, now) {
+		n.stats.DropStaleEpoch.Add(1)
+		return nil, ErrStaleEpoch
+	}
+	initiator := sh.ClearAddr
+	ks, err := n.cfg.Schedule.SessionKey(sh.Epoch, sh.Nonce, initiator)
+	if err != nil {
+		n.stats.DropMalformed.Add(1)
+		return nil, err
+	}
+	var salt [8]byte
+	if _, err := io.ReadFull(n.cfg.Rand, salt[:]); err != nil {
+		return nil, fmt.Errorf("core: reading salt: %w", err)
+	}
+	hidden, err := aesutil.EncryptAddr(ks, ip.Src, salt)
+	if err != nil {
+		return nil, err
+	}
+	out := &shim.Header{
+		Type:       shim.TypeReturnDelivered,
+		InnerProto: sh.InnerProto,
+		Epoch:      sh.Epoch,
+		Nonce:      sh.Nonce,
+		HiddenAddr: hidden,
+	}
+	visibleSrc := n.cfg.Anycast
+	switch {
+	case sh.Flags&shim.FlagNoAnonymize != 0:
+		// §3.4: a customer that purchased guaranteed service may opt out
+		// of anonymization entirely.
+		visibleSrc = ip.Src
+	case sh.Flags&shim.FlagDynamicAddr != 0:
+		a, err := n.dynAddrFor(ip.Src, initiator)
+		if err != nil {
+			return nil, err
+		}
+		visibleSrc = a
+	}
+	pktOut, err := buildShimPacket(visibleSrc, initiator, ip.TOS, out, sh.Payload())
+	if err != nil {
+		return nil, err
+	}
+	n.stats.ReturnForwarded.Add(1)
+	return []Outgoing{{Pkt: pktOut}}, nil
+}
+
+// processKeyFetch implements §3.3: a customer initiating a connection to
+// an outside destination requests (nonce, Ks) in plaintext — the exchange
+// never leaves the friendly domain.
+func (n *Neutralizer) processKeyFetch(ip *wire.IPv4, sh *shim.Header) ([]Outgoing, error) {
+	if !n.cfg.IsCustomer(ip.Src) {
+		n.stats.DropNotCustomer.Add(1)
+		return nil, ErrNotFromCustomer
+	}
+	peer := sh.ClearAddr
+	now := n.cfg.Clock()
+	nonce, err := keys.NewNonce(n.cfg.Rand)
+	if err != nil {
+		return nil, err
+	}
+	ks, epoch, err := n.cfg.Schedule.SessionKeyAt(now, nonce, peer)
+	if err != nil {
+		n.stats.DropMalformed.Add(1)
+		return nil, err
+	}
+	resp := &shim.Header{
+		Type:  shim.TypeKeyFetchResponse,
+		Epoch: epoch,
+		Nonce: nonce,
+		Grant: shim.Grant{Nonce: nonce, Key: ks},
+	}
+	pktOut, err := buildShimPacket(n.cfg.Anycast, ip.Src, ip.TOS, resp, nil)
+	if err != nil {
+		return nil, err
+	}
+	n.stats.KeyFetches.Add(1)
+	return []Outgoing{{Pkt: pktOut}}, nil
+}
+
+// processAltData implements the §3.2 alternative the paper rejected: the
+// source encrypts the destination under the neutralizer's certified
+// public key, saving one RTT but costing the neutralizer a private-key
+// decryption per setup that cannot be offloaded. Kept for the A1
+// ablation benchmark.
+func (n *Neutralizer) processAltData(ip *wire.IPv4, sh *shim.Header) ([]Outgoing, error) {
+	if n.cfg.AltIdentity == nil {
+		return nil, ErrNoAltIdentity
+	}
+	pt, err := n.cfg.AltIdentity.Decrypt(sh.Ciphertext)
+	if err != nil || len(pt) < 4 {
+		n.stats.DropBadAddrBlock.Add(1)
+		return nil, ErrBadAddrBlock
+	}
+	dst := netip.AddrFrom4([4]byte(pt[:4]))
+	if !n.cfg.IsCustomer(dst) {
+		n.stats.DropNotCustomer.Add(1)
+		return nil, ErrNotCustomer
+	}
+	out := &shim.Header{
+		Type:       shim.TypeDelivered,
+		InnerProto: sh.InnerProto,
+		Epoch:      sh.Epoch,
+		Nonce:      sh.Nonce,
+		ClearAddr:  n.cfg.Anycast,
+	}
+	pktOut, err := buildShimPacket(ip.Src, dst, ip.TOS, out, sh.Payload())
+	if err != nil {
+		return nil, err
+	}
+	n.stats.AltSetups.Add(1)
+	return []Outgoing{{Pkt: pktOut}}, nil
+}
+
+// dynAddrFor returns the stable dynamic address for a (customer, peer)
+// flow, allocating from the pool on first use (§3.4 QoS remedy).
+func (n *Neutralizer) dynAddrFor(customer, peer netip.Addr) (netip.Addr, error) {
+	if !n.cfg.DynAddrPool.IsValid() {
+		return netip.Addr{}, ErrDynPoolExhausted
+	}
+	key := dynFlowKey{customer: customer, peer: peer}
+	n.dynMu.Lock()
+	defer n.dynMu.Unlock()
+	if a, ok := n.dynFwd[key]; ok {
+		return a, nil
+	}
+	// Sequential allocation inside the pool, skipping the network address.
+	base := n.cfg.DynAddrPool.Addr()
+	hostBits := 32 - n.cfg.DynAddrPool.Bits()
+	max := uint64(1)<<hostBits - 1
+	for {
+		n.dynNext++
+		if n.dynNext >= max {
+			return netip.Addr{}, ErrDynPoolExhausted
+		}
+		a := addAddrOffset(base, n.dynNext)
+		if _, used := n.dynRev[a]; used {
+			continue
+		}
+		n.dynFwd[key] = a
+		n.dynRev[a] = key
+		n.stats.DynAddrsAllocated.Add(1)
+		if n.cfg.OnDynAlloc != nil {
+			n.cfg.OnDynAlloc(a, true)
+		}
+		return a, nil
+	}
+}
+
+// DynFlowOf resolves a dynamic address back to its (customer, peer) flow.
+// The discriminatory ISP cannot do this — only the neutralizer can.
+func (n *Neutralizer) DynFlowOf(a netip.Addr) (customer, peer netip.Addr, ok bool) {
+	n.dynMu.Lock()
+	defer n.dynMu.Unlock()
+	k, ok := n.dynRev[a]
+	return k.customer, k.peer, ok
+}
+
+// ReleaseDynAddr releases a dynamic address when a QoS session ends.
+func (n *Neutralizer) ReleaseDynAddr(a netip.Addr) {
+	n.dynMu.Lock()
+	k, ok := n.dynRev[a]
+	if ok {
+		delete(n.dynRev, a)
+		delete(n.dynFwd, k)
+	}
+	n.dynMu.Unlock()
+	if ok && n.cfg.OnDynAlloc != nil {
+		n.cfg.OnDynAlloc(a, false)
+	}
+}
+
+// DynAddrCount reports live dynamic-address allocations (state that
+// exists only for explicitly-requested QoS flows).
+func (n *Neutralizer) DynAddrCount() int {
+	n.dynMu.Lock()
+	defer n.dynMu.Unlock()
+	return len(n.dynFwd)
+}
+
+func addAddrOffset(base netip.Addr, off uint64) netip.Addr {
+	b := base.As4()
+	v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	v += uint32(off)
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// buildShimPacket serializes IP(src→dst, ToS preserved) | shim | payload.
+// Preserving the ToS octet verbatim is the §3.4 DiffServ guarantee: "a
+// neutralizer will not modify the Differentiated Services Code Point".
+func buildShimPacket(src, dst netip.Addr, tos uint8, sh *shim.Header, payload []byte) ([]byte, error) {
+	buf := wire.NewSerializeBuffer(wire.IPv4HeaderLen+shim.HeaderLen+64, len(payload))
+	buf.PushPayload(payload)
+	if err := sh.SerializeTo(buf); err != nil {
+		return nil, err
+	}
+	ip := &wire.IPv4{TOS: tos, TTL: wire.MaxTTL, Protocol: wire.ProtoShim, Src: src, Dst: dst}
+	if err := ip.SerializeTo(buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// VanillaForward is the baseline the paper compares against: plain IP
+// forwarding work (validate header, decrement TTL, repair checksum) with
+// no neutralization. Used by the E3 benchmark.
+func VanillaForward(pkt []byte) error {
+	var ip wire.IPv4
+	if err := ip.DecodeFromBytes(pkt); err != nil {
+		return err
+	}
+	alive, err := wire.DecrementTTL(pkt)
+	if err != nil {
+		return err
+	}
+	if !alive {
+		return errors.New("core: ttl exhausted")
+	}
+	return nil
+}

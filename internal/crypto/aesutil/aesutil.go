@@ -1,0 +1,152 @@
+// Package aesutil provides the symmetric primitives of the neutralizer
+// data path, mirroring the paper's implementation choice of "128-bit AES
+// for both hashing and encryption/decryption":
+//
+//   - a CBC-MAC keyed hash used as the key-derivation function
+//     Ks = hash(KM, nonce, srcIP);
+//   - single-block encryption of the hidden address field with a
+//     per-packet salt and an embedded check value, so each data packet
+//     costs exactly one AES block operation at the neutralizer;
+//   - AES-CTR payload encryption for the end-to-end black box.
+package aesutil
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// KeySize is the AES-128 key size in bytes.
+const KeySize = 16
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = aes.BlockSize
+
+// Key is a 128-bit symmetric key.
+type Key [KeySize]byte
+
+// Errors returned by this package.
+var (
+	ErrBadBlockSize = errors.New("aesutil: ciphertext is not one AES block")
+	ErrCheckFailed  = errors.New("aesutil: address block check value mismatch")
+)
+
+// addrBlockMagic is the known plaintext embedded in every address block.
+// A decryption under the wrong key yields an effectively random block, so
+// the magic mismatches with probability 1 - 2^-32.
+var addrBlockMagic = [4]byte{'n', 'e', 'u', 't'}
+
+// CBCMAC computes the AES-128 CBC-MAC of data under key, with zero IV and
+// a length prefix. The length prefix (rather than raw CBC-MAC) closes the
+// classic variable-length extension weakness; all users of this function
+// MAC short, structured inputs.
+func CBCMAC(key Key, data []byte) Key {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		// aes.NewCipher only fails on invalid key sizes, which the Key
+		// type rules out.
+		panic(fmt.Sprintf("aesutil: %v", err))
+	}
+	var mac [BlockSize]byte
+	binary.BigEndian.PutUint64(mac[:8], uint64(len(data)))
+	block.Encrypt(mac[:], mac[:])
+	var chunk [BlockSize]byte
+	for len(data) > 0 {
+		n := copy(chunk[:], data)
+		for i := n; i < BlockSize; i++ {
+			chunk[i] = 0
+		}
+		for i := 0; i < BlockSize; i++ {
+			mac[i] ^= chunk[i]
+		}
+		block.Encrypt(mac[:], mac[:])
+		data = data[n:]
+	}
+	return Key(mac)
+}
+
+// DeriveKey computes a keyed hash over the given parts with unambiguous
+// framing (each part is length-prefixed). This is the paper's
+// Ks = hash(KM, nonce, srcIP) with KM as the MAC key.
+func DeriveKey(master Key, parts ...[]byte) Key {
+	size := 0
+	for _, p := range parts {
+		size += 2 + len(p)
+	}
+	buf := make([]byte, 0, size)
+	for _, p := range parts {
+		var l [2]byte
+		binary.BigEndian.PutUint16(l[:], uint16(len(p)))
+		buf = append(buf, l[:]...)
+		buf = append(buf, p...)
+	}
+	return CBCMAC(master, buf)
+}
+
+// AddrBlock is the 16-byte plaintext layout of the hidden-address field:
+//
+//	bytes 0..3   IPv4 address being hidden
+//	bytes 4..11  per-packet salt (keeps equal addresses from producing
+//	             equal ciphertexts across packets)
+//	bytes 12..15 check value (known magic verified on decryption)
+type AddrBlock [BlockSize]byte
+
+// EncryptAddr encrypts addr into a single AES block under key using the
+// given per-packet salt. One AES operation.
+func EncryptAddr(key Key, a netip.Addr, salt [8]byte) (AddrBlock, error) {
+	if !a.Is4() {
+		return AddrBlock{}, fmt.Errorf("aesutil: address %v is not IPv4", a)
+	}
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return AddrBlock{}, err
+	}
+	var pt AddrBlock
+	a4 := a.As4()
+	copy(pt[0:4], a4[:])
+	copy(pt[4:12], salt[:])
+	copy(pt[12:16], addrBlockMagic[:])
+	var ct AddrBlock
+	block.Encrypt(ct[:], pt[:])
+	return ct, nil
+}
+
+// DecryptAddr reverses EncryptAddr and validates the check value. One AES
+// operation. A failed check means the wrong key was used (e.g. a forged or
+// stale nonce) or the block was corrupted.
+func DecryptAddr(key Key, ct AddrBlock) (netip.Addr, [8]byte, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return netip.Addr{}, [8]byte{}, err
+	}
+	var pt AddrBlock
+	block.Decrypt(pt[:], ct[:])
+	if subtle.ConstantTimeCompare(pt[12:16], addrBlockMagic[:]) != 1 {
+		return netip.Addr{}, [8]byte{}, ErrCheckFailed
+	}
+	var salt [8]byte
+	copy(salt[:], pt[4:12])
+	return netip.AddrFrom4([4]byte(pt[0:4])), salt, nil
+}
+
+// CTRCrypt encrypts or decrypts data in place with AES-CTR under key and
+// a 16-byte IV derived from the caller-supplied 8-byte nonce (the same
+// operation in both directions).
+func CTRCrypt(key Key, nonce [8]byte, data []byte) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic(fmt.Sprintf("aesutil: %v", err))
+	}
+	var iv [BlockSize]byte
+	copy(iv[:8], nonce[:])
+	cipher.NewCTR(block, iv[:]).XORKeyStream(data, data)
+}
+
+// Equal compares two keys in constant time.
+func Equal(a, b Key) bool {
+	return subtle.ConstantTimeCompare(a[:], b[:]) == 1
+}

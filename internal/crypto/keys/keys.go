@@ -1,0 +1,145 @@
+// Package keys implements the neutralizer's master-key schedule and the
+// stateless session-key derivation at the heart of the design.
+//
+// A neutralizer holds a long-term root secret from which per-epoch master
+// keys KM are derived. The paper assumes "a neutralizer's master key lasts
+// for an hour"; epochs make that rotation explicit, and a one-epoch grace
+// window lets packets keyed just before a rotation still decrypt.
+//
+// All neutralizers of a domain share the root secret, so ANY replica can
+// derive Ks = hash(KM, nonce, srcIP) for any packet — the anycast,
+// fault-tolerant property the paper calls out ("as long as the
+// neutralizers of a domain share the master key KM, any neutralizer can
+// decrypt the destination address and forward the packet").
+package keys
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+	"sync"
+	"time"
+
+	"netneutral/internal/crypto/aesutil"
+)
+
+// DefaultEpochLength mirrors the paper's hourly master key.
+const DefaultEpochLength = time.Hour
+
+// Epoch identifies a master-key validity period.
+type Epoch uint32
+
+// Nonce is the per-source random value carried in clear in the shim
+// header; together with the source address and KM it determines Ks.
+type Nonce [8]byte
+
+// NewNonce draws a random nonce from rng (crypto/rand if nil).
+func NewNonce(rng io.Reader) (Nonce, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	var n Nonce
+	if _, err := io.ReadFull(rng, n[:]); err != nil {
+		return Nonce{}, fmt.Errorf("keys: reading nonce entropy: %w", err)
+	}
+	return n, nil
+}
+
+// Uint64 returns the nonce as a big-endian integer (for logging/metrics).
+func (n Nonce) Uint64() uint64 { return binary.BigEndian.Uint64(n[:]) }
+
+// Schedule derives per-epoch master keys from a root secret. The zero
+// value is not usable; construct with NewSchedule. A Schedule is safe for
+// concurrent use; the only mutable state is a cache of derived per-epoch
+// master keys (pure functions of the root, so caching does not violate
+// the neutralizer's statelessness — the cache is config, not flow state).
+type Schedule struct {
+	root     aesutil.Key
+	epochLen time.Duration
+	start    time.Time
+
+	mu    sync.Mutex
+	cache map[Epoch]aesutil.Key
+}
+
+// NewSchedule creates a schedule anchored at start with the given epoch
+// length (DefaultEpochLength if zero).
+func NewSchedule(root aesutil.Key, start time.Time, epochLen time.Duration) *Schedule {
+	if epochLen <= 0 {
+		epochLen = DefaultEpochLength
+	}
+	return &Schedule{root: root, epochLen: epochLen, start: start, cache: make(map[Epoch]aesutil.Key)}
+}
+
+// NewRandomSchedule creates a schedule with a random root secret.
+func NewRandomSchedule(start time.Time, epochLen time.Duration) (*Schedule, error) {
+	var root aesutil.Key
+	if _, err := io.ReadFull(rand.Reader, root[:]); err != nil {
+		return nil, fmt.Errorf("keys: reading root entropy: %w", err)
+	}
+	return NewSchedule(root, start, epochLen), nil
+}
+
+// EpochLength returns the schedule's rotation period.
+func (s *Schedule) EpochLength() time.Duration { return s.epochLen }
+
+// EpochAt returns the epoch in force at time t. Times before the anchor
+// map to epoch 0.
+func (s *Schedule) EpochAt(t time.Time) Epoch {
+	d := t.Sub(s.start)
+	if d < 0 {
+		return 0
+	}
+	return Epoch(d / s.epochLen)
+}
+
+// MasterKey returns KM for the given epoch, derived from the root secret
+// (cached: a handful of epochs are ever live).
+func (s *Schedule) MasterKey(e Epoch) aesutil.Key {
+	s.mu.Lock()
+	if k, ok := s.cache[e]; ok {
+		s.mu.Unlock()
+		return k
+	}
+	s.mu.Unlock()
+	var eb [4]byte
+	binary.BigEndian.PutUint32(eb[:], uint32(e))
+	k := aesutil.DeriveKey(s.root, []byte("netneutral-master-key"), eb[:])
+	s.mu.Lock()
+	s.cache[e] = k
+	s.mu.Unlock()
+	return k
+}
+
+// Acceptable reports whether a packet keyed under epoch pkt should be
+// accepted at time now: the current epoch always, and the immediately
+// previous epoch as a grace window for packets in flight across a
+// rotation.
+func (s *Schedule) Acceptable(pkt Epoch, now time.Time) bool {
+	cur := s.EpochAt(now)
+	return pkt == cur || (cur > 0 && pkt == cur-1)
+}
+
+// SessionKey computes the paper's core derivation
+//
+//	Ks = hash(KM, nonce, srcIP)
+//
+// for the given epoch. The computation is pure: no state is read or
+// written, which is what makes the neutralizer stateless and replicable.
+func (s *Schedule) SessionKey(e Epoch, nonce Nonce, src netip.Addr) (aesutil.Key, error) {
+	if !src.Is4() {
+		return aesutil.Key{}, fmt.Errorf("keys: source %v is not IPv4", src)
+	}
+	a4 := src.As4()
+	km := s.MasterKey(e)
+	return aesutil.DeriveKey(km, nonce[:], a4[:]), nil
+}
+
+// SessionKeyAt is SessionKey with the epoch resolved from a timestamp.
+func (s *Schedule) SessionKeyAt(now time.Time, nonce Nonce, src netip.Addr) (aesutil.Key, Epoch, error) {
+	e := s.EpochAt(now)
+	k, err := s.SessionKey(e, nonce, src)
+	return k, e, err
+}

@@ -1,0 +1,196 @@
+package keys
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"netneutral/internal/crypto/aesutil"
+)
+
+var (
+	t0   = time.Date(2006, 11, 1, 0, 0, 0, 0, time.UTC)
+	root = aesutil.Key{42}
+)
+
+func newTestSchedule() *Schedule { return NewSchedule(root, t0, time.Hour) }
+
+func TestEpochAt(t *testing.T) {
+	s := newTestSchedule()
+	cases := []struct {
+		t    time.Time
+		want Epoch
+	}{
+		{t0, 0},
+		{t0.Add(59 * time.Minute), 0},
+		{t0.Add(time.Hour), 1},
+		{t0.Add(90 * time.Minute), 1},
+		{t0.Add(48 * time.Hour), 48},
+		{t0.Add(-time.Hour), 0}, // before anchor clamps to 0
+	}
+	for _, c := range cases {
+		if got := s.EpochAt(c.t); got != c.want {
+			t.Errorf("EpochAt(%v) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestMasterKeyPerEpoch(t *testing.T) {
+	s := newTestSchedule()
+	k0, k1 := s.MasterKey(0), s.MasterKey(1)
+	if k0 == k1 {
+		t.Error("epochs must have distinct master keys")
+	}
+	if s.MasterKey(0) != k0 {
+		t.Error("MasterKey must be deterministic")
+	}
+}
+
+func TestSessionKeyDeterministicAndStateless(t *testing.T) {
+	s := newTestSchedule()
+	n := Nonce{1, 2, 3, 4, 5, 6, 7, 8}
+	src := netip.MustParseAddr("198.51.100.9")
+	a, err := s.SessionKey(3, n, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A *different* Schedule instance with the same root derives the same
+	// key: this is the anycast/replica property.
+	s2 := NewSchedule(root, t0, time.Hour)
+	b, err := s2.SessionKey(3, n, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("replicas sharing the root must derive identical session keys")
+	}
+}
+
+func TestSessionKeySensitivity(t *testing.T) {
+	s := newTestSchedule()
+	n := Nonce{1}
+	src := netip.MustParseAddr("198.51.100.9")
+	base, _ := s.SessionKey(0, n, src)
+	if k, _ := s.SessionKey(1, n, src); k == base {
+		t.Error("epoch change must change Ks")
+	}
+	if k, _ := s.SessionKey(0, Nonce{2}, src); k == base {
+		t.Error("nonce change must change Ks")
+	}
+	if k, _ := s.SessionKey(0, n, netip.MustParseAddr("198.51.100.10")); k == base {
+		t.Error("source change must change Ks")
+	}
+}
+
+func TestSessionKeyRejectsNonIPv4(t *testing.T) {
+	s := newTestSchedule()
+	if _, err := s.SessionKey(0, Nonce{}, netip.MustParseAddr("2001:db8::1")); err == nil {
+		t.Error("IPv6 source should be rejected")
+	}
+}
+
+func TestAcceptableGraceWindow(t *testing.T) {
+	s := newTestSchedule()
+	now := t0.Add(2*time.Hour + time.Minute) // epoch 2
+	if !s.Acceptable(2, now) {
+		t.Error("current epoch must be acceptable")
+	}
+	if !s.Acceptable(1, now) {
+		t.Error("previous epoch must be acceptable (grace)")
+	}
+	if s.Acceptable(0, now) {
+		t.Error("two-epochs-old must be rejected")
+	}
+	if s.Acceptable(3, now) {
+		t.Error("future epoch must be rejected")
+	}
+	// At epoch 0 there is no previous epoch.
+	if !s.Acceptable(0, t0) {
+		t.Error("epoch 0 at start must be acceptable")
+	}
+}
+
+func TestSessionKeyAt(t *testing.T) {
+	s := newTestSchedule()
+	src := netip.MustParseAddr("10.1.1.1")
+	k, e, err := s.SessionKeyAt(t0.Add(3*time.Hour), Nonce{9}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 3 {
+		t.Errorf("epoch = %d, want 3", e)
+	}
+	k2, err := s.SessionKey(3, Nonce{9}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != k2 {
+		t.Error("SessionKeyAt disagrees with SessionKey")
+	}
+}
+
+func TestNewNonceUnique(t *testing.T) {
+	a, err := NewNonce(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNonce(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("two random nonces collided (astronomically unlikely)")
+	}
+	if a.Uint64() == 0 && b.Uint64() == 0 {
+		t.Error("nonces read as zero; entropy not consumed?")
+	}
+}
+
+func TestDefaultEpochLength(t *testing.T) {
+	s := NewSchedule(root, t0, 0)
+	if s.EpochLength() != time.Hour {
+		t.Errorf("default epoch length = %v, want 1h (paper's hourly master key)", s.EpochLength())
+	}
+}
+
+func TestNewRandomSchedule(t *testing.T) {
+	s1, err := NewRandomSchedule(t0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewRandomSchedule(t0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.MasterKey(0) == s2.MasterKey(0) {
+		t.Error("independent random schedules share keys")
+	}
+}
+
+func TestSessionKeyCollisionResistanceProperty(t *testing.T) {
+	s := newTestSchedule()
+	f := func(n1, n2 [8]byte, a1, a2 [4]byte) bool {
+		if n1 == n2 && a1 == a2 {
+			return true
+		}
+		k1, err1 := s.SessionKey(0, Nonce(n1), netip.AddrFrom4(a1))
+		k2, err2 := s.SessionKey(0, Nonce(n2), netip.AddrFrom4(a2))
+		return err1 == nil && err2 == nil && k1 != k2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSessionKey(b *testing.B) {
+	s := newTestSchedule()
+	src := netip.MustParseAddr("10.0.0.1")
+	n := Nonce{1, 2, 3, 4, 5, 6, 7, 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SessionKey(0, n, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

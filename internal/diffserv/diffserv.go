@@ -1,0 +1,242 @@
+// Package diffserv implements the tiered service the paper explicitly
+// permits (§3.4): DSCP codepoints, a strict-priority queue discipline, a
+// weighted-round-robin discipline, and a token-bucket policer. A
+// discriminatory ISP may sell these to its customers; the neutralizer
+// preserves DSCP markings so paid-for differentiation keeps working even
+// for anonymized traffic.
+package diffserv
+
+import (
+	"time"
+
+	"netneutral/internal/netem"
+)
+
+// Standard DSCP codepoints.
+const (
+	DSCPBestEffort  uint8 = 0  // CS0
+	DSCPScavenger   uint8 = 8  // CS1 "lower effort"
+	DSCPAF11        uint8 = 10 // assured forwarding class 1
+	DSCPAF41        uint8 = 34 // assured forwarding class 4
+	DSCPExpedited   uint8 = 46 // EF: low-loss low-latency (VoIP)
+	DSCPNetworkCtrl uint8 = 48 // CS6
+)
+
+// Classifier maps a DSCP to a class index; 0 is the highest priority.
+type Classifier func(dscp uint8) int
+
+// DefaultClassifier implements a common 3-class model:
+// class 0 = EF and network control, class 1 = assured forwarding,
+// class 2 = best effort and scavenger.
+func DefaultClassifier(dscp uint8) int {
+	switch {
+	case dscp >= DSCPExpedited:
+		return 0
+	case dscp >= DSCPAF11:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// PriorityQueue is a strict-priority netem.Queue: class 0 always
+// dequeues before class 1, and so on. Each class has its own bounded
+// FIFO.
+type PriorityQueue struct {
+	classify Classifier
+	classes  [][]*netem.QueuedPacket
+	capacity int
+	dropped  []uint64
+}
+
+// NewPriorityQueue builds a strict-priority queue with nClasses classes
+// of perClassCap packets each.
+func NewPriorityQueue(nClasses, perClassCap int, classify Classifier) *PriorityQueue {
+	if classify == nil {
+		classify = DefaultClassifier
+	}
+	if nClasses <= 0 {
+		nClasses = 3
+	}
+	if perClassCap <= 0 {
+		perClassCap = 64
+	}
+	return &PriorityQueue{
+		classify: classify,
+		classes:  make([][]*netem.QueuedPacket, nClasses),
+		capacity: perClassCap,
+		dropped:  make([]uint64, nClasses),
+	}
+}
+
+// Enqueue implements netem.Queue.
+func (q *PriorityQueue) Enqueue(p *netem.QueuedPacket) bool {
+	c := q.classify(p.DSCP)
+	if c < 0 {
+		c = 0
+	}
+	if c >= len(q.classes) {
+		c = len(q.classes) - 1
+	}
+	if len(q.classes[c]) >= q.capacity {
+		q.dropped[c]++
+		return false
+	}
+	q.classes[c] = append(q.classes[c], p)
+	return true
+}
+
+// Dequeue implements netem.Queue: strict priority.
+func (q *PriorityQueue) Dequeue() *netem.QueuedPacket {
+	for c := range q.classes {
+		if len(q.classes[c]) > 0 {
+			p := q.classes[c][0]
+			q.classes[c] = q.classes[c][1:]
+			return p
+		}
+	}
+	return nil
+}
+
+// Len implements netem.Queue.
+func (q *PriorityQueue) Len() int {
+	n := 0
+	for _, c := range q.classes {
+		n += len(c)
+	}
+	return n
+}
+
+// Dropped reports tail drops per class.
+func (q *PriorityQueue) Dropped(class int) uint64 {
+	if class < 0 || class >= len(q.dropped) {
+		return 0
+	}
+	return q.dropped[class]
+}
+
+// WRRQueue is a weighted-round-robin netem.Queue: class i receives
+// service in proportion to Weights[i]. Unlike strict priority it cannot
+// starve lower classes.
+type WRRQueue struct {
+	classify Classifier
+	classes  [][]*netem.QueuedPacket
+	weights  []int
+	credit   []int
+	capacity int
+	cursor   int
+}
+
+// NewWRRQueue builds a WRR queue; weights must be positive.
+func NewWRRQueue(weights []int, perClassCap int, classify Classifier) *WRRQueue {
+	if classify == nil {
+		classify = DefaultClassifier
+	}
+	if perClassCap <= 0 {
+		perClassCap = 64
+	}
+	w := make([]int, len(weights))
+	copy(w, weights)
+	for i := range w {
+		if w[i] <= 0 {
+			w[i] = 1
+		}
+	}
+	return &WRRQueue{
+		classify: classify,
+		classes:  make([][]*netem.QueuedPacket, len(w)),
+		weights:  w,
+		credit:   make([]int, len(w)),
+		capacity: perClassCap,
+	}
+}
+
+// Enqueue implements netem.Queue.
+func (q *WRRQueue) Enqueue(p *netem.QueuedPacket) bool {
+	c := q.classify(p.DSCP)
+	if c < 0 {
+		c = 0
+	}
+	if c >= len(q.classes) {
+		c = len(q.classes) - 1
+	}
+	if len(q.classes[c]) >= q.capacity {
+		return false
+	}
+	q.classes[c] = append(q.classes[c], p)
+	return true
+}
+
+// Dequeue implements netem.Queue with weighted round robin over
+// non-empty classes.
+func (q *WRRQueue) Dequeue() *netem.QueuedPacket {
+	if q.Len() == 0 {
+		return nil
+	}
+	for tries := 0; tries < 2*len(q.classes); tries++ {
+		c := q.cursor
+		if len(q.classes[c]) > 0 {
+			if q.credit[c] <= 0 {
+				q.credit[c] = q.weights[c]
+			}
+			p := q.classes[c][0]
+			q.classes[c] = q.classes[c][1:]
+			q.credit[c]--
+			if q.credit[c] <= 0 {
+				q.cursor = (q.cursor + 1) % len(q.classes)
+			}
+			return p
+		}
+		q.credit[c] = 0
+		q.cursor = (q.cursor + 1) % len(q.classes)
+	}
+	return nil
+}
+
+// Len implements netem.Queue.
+func (q *WRRQueue) Len() int {
+	n := 0
+	for _, c := range q.classes {
+		n += len(c)
+	}
+	return n
+}
+
+// TokenBucket is a classic policer: traffic conforming to rate/burst is
+// admitted; excess is not.
+type TokenBucket struct {
+	rateBps float64 // bits per second
+	burst   float64 // bucket depth in bits
+	tokens  float64
+	last    time.Time
+	started bool
+}
+
+// NewTokenBucket creates a policer admitting rateBps with the given burst
+// (in bytes).
+func NewTokenBucket(rateBps float64, burstBytes int) *TokenBucket {
+	b := float64(burstBytes * 8)
+	return &TokenBucket{rateBps: rateBps, burst: b, tokens: b}
+}
+
+// Allow reports whether a packet of size bytes conforms at time now,
+// consuming tokens if it does.
+func (t *TokenBucket) Allow(now time.Time, size int) bool {
+	if !t.started {
+		t.last, t.started = now, true
+	}
+	elapsed := now.Sub(t.last).Seconds()
+	if elapsed > 0 {
+		t.tokens += elapsed * t.rateBps
+		if t.tokens > t.burst {
+			t.tokens = t.burst
+		}
+		t.last = now
+	}
+	need := float64(size * 8)
+	if t.tokens >= need {
+		t.tokens -= need
+		return true
+	}
+	return false
+}

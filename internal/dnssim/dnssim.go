@@ -1,0 +1,365 @@
+// Package dnssim simulates the DNS bootstrap of §3.1: a destination's
+// records carry its address, its neutralizers' anycast addresses, and its
+// public key; sources fetch them before connecting.
+//
+// Because a discriminatory ISP can eavesdrop on and selectively delay
+// plaintext queries ("AT&T may delay queries for www.google.com"), the
+// design requires queries to be encrypted and sent to resolvers outside
+// the discriminatory ISP's control. Both modes are implemented so the A7
+// experiment can contrast them: plaintext queries expose the queried name
+// on the wire; encrypted queries expose only the resolver's address.
+//
+// The wire protocol is deliberately minimal (this is a bootstrap-
+// semantics model, not an RFC 1035 implementation): queries and responses
+// ride UDP port 53 over the netem fabric.
+package dnssim
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"netneutral/internal/e2e"
+	"netneutral/internal/netem"
+	"netneutral/internal/wire"
+)
+
+// Port is the well-known DNS port.
+const Port = 53
+
+// Errors returned by this package.
+var (
+	ErrNoSuchName  = errors.New("dnssim: no such name")
+	ErrBadMessage  = errors.New("dnssim: malformed message")
+	ErrNotEnabled  = errors.New("dnssim: resolver does not accept encrypted queries")
+	ErrQueryFailed = errors.New("dnssim: query failed")
+)
+
+// Record is the bootstrap information a destination publishes (§3.1):
+// its IP address, the anycast addresses of its neutralizer services (one
+// per provider for multi-homed sites, §3.5), and its public key.
+type Record struct {
+	Name         string
+	Addr         netip.Addr
+	Neutralizers []netip.Addr
+	PublicKey    e2e.PublicKey
+}
+
+// Marshal encodes a record.
+func (r Record) Marshal() []byte {
+	name := []byte(r.Name)
+	pk := []byte{}
+	if r.PublicKey.Valid() {
+		pk = r.PublicKey.Marshal()
+	}
+	out := make([]byte, 0, 2+len(name)+4+1+4*len(r.Neutralizers)+2+len(pk))
+	out = append(out, byte(len(name)>>8), byte(len(name)))
+	out = append(out, name...)
+	a := r.Addr.As4()
+	out = append(out, a[:]...)
+	out = append(out, byte(len(r.Neutralizers)))
+	for _, n := range r.Neutralizers {
+		n4 := n.As4()
+		out = append(out, n4[:]...)
+	}
+	out = append(out, byte(len(pk)>>8), byte(len(pk)))
+	out = append(out, pk...)
+	return out
+}
+
+// UnmarshalRecord reverses Marshal.
+func UnmarshalRecord(b []byte) (Record, error) {
+	if len(b) < 2 {
+		return Record{}, ErrBadMessage
+	}
+	nl := int(b[0])<<8 | int(b[1])
+	b = b[2:]
+	if len(b) < nl+4+1 {
+		return Record{}, ErrBadMessage
+	}
+	var r Record
+	r.Name = string(b[:nl])
+	b = b[nl:]
+	r.Addr = netip.AddrFrom4([4]byte(b[:4]))
+	b = b[4:]
+	nn := int(b[0])
+	b = b[1:]
+	if len(b) < 4*nn+2 {
+		return Record{}, ErrBadMessage
+	}
+	for i := 0; i < nn; i++ {
+		r.Neutralizers = append(r.Neutralizers, netip.AddrFrom4([4]byte(b[:4])))
+		b = b[4:]
+	}
+	pl := int(b[0])<<8 | int(b[1])
+	b = b[2:]
+	if len(b) < pl {
+		return Record{}, ErrBadMessage
+	}
+	if pl > 0 {
+		pk, err := e2e.UnmarshalPublicKey(b[:pl])
+		if err != nil {
+			return Record{}, err
+		}
+		r.PublicKey = pk
+	}
+	return r, nil
+}
+
+// Message kinds on the wire.
+const (
+	msgQueryPlain  = 1
+	msgQueryEnc    = 2
+	msgAnswerPlain = 3
+	msgAnswerEnc   = 4
+	msgNXDomain    = 5
+)
+
+// Resolver is a DNS server bound to a netem node. If an Identity is set,
+// it accepts encrypted queries: the query name and a response key arrive
+// encrypted under the resolver's public key, and the answer comes back
+// sealed.
+type Resolver struct {
+	node       *netem.Node
+	zone       map[string]Record
+	identity   *e2e.Identity
+	queries    uint64
+	encQueries uint64
+}
+
+// NewResolver installs a resolver on the given node. identity may be nil
+// for a plaintext-only resolver.
+func NewResolver(node *netem.Node, identity *e2e.Identity) *Resolver {
+	r := &Resolver{node: node, zone: make(map[string]Record), identity: identity}
+	node.SetHandler(r.handle)
+	return r
+}
+
+// AddRecord publishes a record.
+func (r *Resolver) AddRecord(rec Record) { r.zone[rec.Name] = rec }
+
+// Queries reports total queries served; EncryptedQueries the encrypted
+// subset.
+func (r *Resolver) Queries() uint64 { return r.queries }
+
+// EncryptedQueries reports encrypted queries served.
+func (r *Resolver) EncryptedQueries() uint64 { return r.encQueries }
+
+// Identity returns the resolver's public key (zero PublicKey if
+// plaintext-only).
+func (r *Resolver) Public() e2e.PublicKey {
+	if r.identity == nil {
+		return e2e.PublicKey{}
+	}
+	return r.identity.Public()
+}
+
+// Addr returns the resolver's address.
+func (r *Resolver) Addr() netip.Addr { return r.node.Addr() }
+
+func (r *Resolver) handle(now time.Time, pkt []byte) {
+	var ip wire.IPv4
+	if err := ip.DecodeFromBytes(pkt); err != nil || ip.Protocol != wire.ProtoUDP {
+		return
+	}
+	var udp wire.UDP
+	if err := udp.DecodeFromBytes(ip.Payload()); err != nil || udp.DstPort != Port {
+		return
+	}
+	q := udp.Payload()
+	if len(q) < 2 {
+		return
+	}
+	r.queries++
+	switch q[0] {
+	case msgQueryPlain:
+		nl := int(q[1])
+		if len(q) < 2+nl {
+			return
+		}
+		name := string(q[2 : 2+nl])
+		rec, ok := r.zone[name]
+		if !ok {
+			r.reply(ip.Src, udp.SrcPort, []byte{msgNXDomain, 0})
+			return
+		}
+		body := rec.Marshal()
+		r.reply(ip.Src, udp.SrcPort, append([]byte{msgAnswerPlain, 0}, body...))
+	case msgQueryEnc:
+		if r.identity == nil {
+			return
+		}
+		n := int(binary.BigEndian.Uint16(q[1:3]))
+		if len(q) < 3+n {
+			return
+		}
+		pt, err := r.identity.DecryptSmall(q[3 : 3+n])
+		if err != nil || len(pt) < 32 {
+			return
+		}
+		seed, name := pt[:32], string(pt[32:])
+		sess, err := e2e.SessionFromSeed(seed, nil)
+		if err != nil {
+			return
+		}
+		r.encQueries++
+		rec, ok := r.zone[name]
+		var body []byte
+		if !ok {
+			body = []byte{msgNXDomain}
+		} else {
+			body = append([]byte{msgAnswerEnc}, rec.Marshal()...)
+		}
+		sealed, err := sess.Seal(body)
+		if err != nil {
+			return
+		}
+		r.reply(ip.Src, udp.SrcPort, append([]byte{msgAnswerEnc, 0}, sealed...))
+	}
+}
+
+func (r *Resolver) reply(dst netip.Addr, dstPort uint16, payload []byte) {
+	pkt, err := buildUDP(r.node.Addr(), dst, Port, dstPort, payload)
+	if err != nil {
+		return
+	}
+	_ = r.node.Send(pkt)
+}
+
+// Client issues lookups from a netem node. Responses arrive
+// asynchronously through the node's handler; the Client multiplexes by
+// source port.
+type Client struct {
+	node     *netem.Node
+	rng      io.Reader
+	nextPort uint16
+	pending  map[uint16]*pendingQuery
+}
+
+type pendingQuery struct {
+	callback func(Record, error)
+	sess     *e2e.Session
+	enc      bool
+}
+
+// NewClient creates a lookup client on node. The client takes over the
+// node's handler; compose with other handlers before calling if needed.
+func NewClient(node *netem.Node, rng io.Reader) *Client {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	c := &Client{node: node, rng: rng, nextPort: 30000, pending: make(map[uint16]*pendingQuery)}
+	node.SetHandler(c.handle)
+	return c
+}
+
+// LookupPlain issues a plaintext query (the discriminable kind).
+func (c *Client) LookupPlain(resolver netip.Addr, name string, cb func(Record, error)) error {
+	port := c.allocPort(&pendingQuery{callback: cb})
+	q := append([]byte{msgQueryPlain, byte(len(name))}, name...)
+	pkt, err := buildUDP(c.node.Addr(), resolver, port, Port, q)
+	if err != nil {
+		return err
+	}
+	return c.node.Send(pkt)
+}
+
+// LookupEncrypted issues an encrypted query to a resolver whose public
+// key the client was configured with (§3.1: "clients will be configured
+// with the IP addresses, the public keys ... of those DNS resolvers").
+func (c *Client) LookupEncrypted(resolver netip.Addr, resolverKey e2e.PublicKey, name string, cb func(Record, error)) error {
+	seed := make([]byte, 32)
+	if _, err := io.ReadFull(c.rng, seed); err != nil {
+		return err
+	}
+	sess, err := e2e.SessionFromSeed(seed, c.rng)
+	if err != nil {
+		return err
+	}
+	ct, err := e2e.EncryptSmall(c.rng, resolverKey, append(seed, []byte(name)...))
+	if err != nil {
+		return fmt.Errorf("dnssim: encrypting query: %w", err)
+	}
+	port := c.allocPort(&pendingQuery{callback: cb, sess: sess, enc: true})
+	q := make([]byte, 3+len(ct))
+	q[0] = msgQueryEnc
+	binary.BigEndian.PutUint16(q[1:3], uint16(len(ct)))
+	copy(q[3:], ct)
+	pkt, err := buildUDP(c.node.Addr(), resolver, port, Port, q)
+	if err != nil {
+		return err
+	}
+	return c.node.Send(pkt)
+}
+
+func (c *Client) allocPort(p *pendingQuery) uint16 {
+	c.nextPort++
+	c.pending[c.nextPort] = p
+	return c.nextPort
+}
+
+func (c *Client) handle(now time.Time, pkt []byte) {
+	var ip wire.IPv4
+	if err := ip.DecodeFromBytes(pkt); err != nil || ip.Protocol != wire.ProtoUDP {
+		return
+	}
+	var udp wire.UDP
+	if err := udp.DecodeFromBytes(ip.Payload()); err != nil {
+		return
+	}
+	p, ok := c.pending[udp.DstPort]
+	if !ok {
+		return
+	}
+	delete(c.pending, udp.DstPort)
+	body := udp.Payload()
+	if len(body) < 2 {
+		p.callback(Record{}, ErrBadMessage)
+		return
+	}
+	kind, rest := body[0], body[2:]
+	if p.enc {
+		if kind != msgAnswerEnc {
+			p.callback(Record{}, ErrQueryFailed)
+			return
+		}
+		pt, err := p.sess.Open(rest)
+		if err != nil || len(pt) < 1 {
+			p.callback(Record{}, ErrQueryFailed)
+			return
+		}
+		if pt[0] == msgNXDomain {
+			p.callback(Record{}, ErrNoSuchName)
+			return
+		}
+		rec, err := UnmarshalRecord(pt[1:])
+		p.callback(rec, err)
+		return
+	}
+	switch kind {
+	case msgAnswerPlain:
+		rec, err := UnmarshalRecord(rest)
+		p.callback(rec, err)
+	case msgNXDomain:
+		p.callback(Record{}, ErrNoSuchName)
+	default:
+		p.callback(Record{}, ErrBadMessage)
+	}
+}
+
+func buildUDP(src, dst netip.Addr, sport, dport uint16, payload []byte) ([]byte, error) {
+	buf := wire.NewSerializeBuffer(wire.IPv4HeaderLen+wire.UDPHeaderLen, len(payload))
+	buf.PushPayload(payload)
+	err := wire.SerializeLayers(buf,
+		&wire.IPv4{TTL: wire.MaxTTL, Protocol: wire.ProtoUDP, Src: src, Dst: dst},
+		&wire.UDP{SrcPort: sport, DstPort: dport, PseudoSrc: src, PseudoDst: dst},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,327 @@
+package endhost
+
+import (
+	"encoding/binary"
+	"io"
+	"net/netip"
+
+	"netneutral/internal/crypto/aesutil"
+	"netneutral/internal/crypto/keys"
+	"netneutral/internal/e2e"
+	"netneutral/internal/shim"
+)
+
+// Application frames ride inside shim payloads:
+//
+//	ver(1)=1
+//	flags(1): bit0 = carries key offer, bit1 = body is e2e-sealed
+//	[offer: kind(1) len(2) bytes — kind 1: forward e2e session offer,
+//	                               kind 2: reverse-init key material]
+//	body (sealed or plain):
+//	    bflags(1): bit0 = carries grant
+//	    [grant: epoch(4) nonce(8) key(16)]
+//	    dataLen(2) data
+//
+// The grant — the neutralizer-stamped (nonce', Ks') refresh pair — always
+// travels inside the sealed body, which is what the paper requires: the
+// destination returns it "using strong end-to-end encryption".
+const (
+	frameVersion = 1
+
+	fFlagOffer  = 1 << 0
+	fFlagSealed = 1 << 1
+
+	offerKindForward = 1
+	offerKindReverse = 2
+
+	bFlagGrant = 1 << 0
+)
+
+// reverseOfferLen is the plaintext conveyed by a reverse-init offer:
+// nonce(8) + key(16) + epoch(4) + session seed(32).
+const reverseOfferLen = 8 + aesutil.KeySize + 4 + 32
+
+// buildFrame frames application data for the conversation, establishing
+// the e2e session on first use when the peer's public key is known.
+func (h *Host) buildFrame(c *conv, data []byte) ([]byte, error) {
+	var offer []byte
+	offerKind := uint8(0)
+	if c.sess == nil && !c.customerSide && c.peerPub.Valid() {
+		sess, off, err := e2e.Initiate(h.cfg.Rand, c.peerPub)
+		if err != nil {
+			return nil, err
+		}
+		c.sess = sess
+		offer = off
+		offerKind = offerKindForward
+	}
+	body := h.marshalBody(c, data)
+	return h.assembleFrame(c, offerKind, offer, body)
+}
+
+// assembleFrame seals body if a session exists and prepends the header.
+func (h *Host) assembleFrame(c *conv, offerKind uint8, offer, body []byte) ([]byte, error) {
+	var flags uint8
+	if c.sess != nil {
+		sealed, err := c.sess.Seal(body)
+		if err != nil {
+			return nil, err
+		}
+		body = sealed
+		flags |= fFlagSealed
+	}
+	if offer != nil {
+		flags |= fFlagOffer
+	}
+	out := make([]byte, 0, 2+3+len(offer)+len(body))
+	out = append(out, frameVersion, flags)
+	if offer != nil {
+		out = append(out, offerKind, byte(len(offer)>>8), byte(len(offer)))
+		out = append(out, offer...)
+	}
+	out = append(out, body...)
+	return out, nil
+}
+
+// marshalBody packs the optional pending grant and the data. Including
+// the grant consumes it.
+func (h *Host) marshalBody(c *conv, data []byte) []byte {
+	var body []byte
+	if c.hasPendingGrant {
+		body = append(body, bFlagGrant)
+		var eb [4]byte
+		binary.BigEndian.PutUint32(eb[:], uint32(c.pendingGrantEpoch))
+		body = append(body, eb[:]...)
+		body = append(body, c.pendingGrant.Nonce[:]...)
+		body = append(body, c.pendingGrant.Key[:]...)
+		c.hasPendingGrant = false
+		h.stats.GrantsReturned++
+	} else {
+		body = append(body, 0)
+	}
+	var lb [2]byte
+	binary.BigEndian.PutUint16(lb[:], uint16(len(data)))
+	body = append(body, lb[:]...)
+	body = append(body, data...)
+	return body
+}
+
+// openFrame parses a received frame, accepting session offers, opening
+// sealed bodies, and applying returned grants. It returns the application
+// data (nil for control-only frames).
+func (h *Host) openFrame(c *conv, frame []byte) ([]byte, error) {
+	if len(frame) == 0 {
+		return nil, nil
+	}
+	if len(frame) < 2 || frame[0] != frameVersion {
+		return nil, ErrBadFrame
+	}
+	flags := frame[1]
+	rest := frame[2:]
+	if flags&fFlagOffer != 0 {
+		if len(rest) < 3 {
+			return nil, ErrBadFrame
+		}
+		kind := rest[0]
+		n := int(rest[1])<<8 | int(rest[2])
+		if len(rest) < 3+n {
+			return nil, ErrBadFrame
+		}
+		offer := rest[:3+n][3:]
+		rest = rest[3+n:]
+		switch kind {
+		case offerKindForward:
+			if h.cfg.Identity == nil {
+				return nil, ErrNeedIdentity
+			}
+			sess, err := e2e.Accept(h.cfg.Identity, offer)
+			if err != nil {
+				return nil, err
+			}
+			c.sess = sess
+		case offerKindReverse:
+			// Handled by acceptReverseInit before the conversation exists;
+			// seeing it here (replay into an existing conversation) is an
+			// error.
+			return nil, ErrBadFrame
+		default:
+			return nil, ErrBadFrame
+		}
+	}
+	body := rest
+	if flags&fFlagSealed != 0 {
+		if c.sess == nil {
+			return nil, ErrBadFrame
+		}
+		pt, err := c.sess.Open(body)
+		if err != nil {
+			return nil, err
+		}
+		body = pt
+	}
+	return h.parseBody(c, body)
+}
+
+func (h *Host) parseBody(c *conv, body []byte) ([]byte, error) {
+	if len(body) < 1 {
+		return nil, ErrBadFrame
+	}
+	bflags := body[0]
+	rest := body[1:]
+	if bflags&bFlagGrant != 0 {
+		if len(rest) < 4+shim.GrantLen {
+			return nil, ErrBadFrame
+		}
+		epoch := keys.Epoch(binary.BigEndian.Uint32(rest[:4]))
+		var g shim.Grant
+		copy(g.Nonce[:], rest[4:12])
+		copy(g.Key[:], rest[12:12+aesutil.KeySize])
+		rest = rest[4+shim.GrantLen:]
+		h.applyGrant(c.neut, g, epoch)
+	}
+	if len(rest) < 2 {
+		return nil, ErrBadFrame
+	}
+	n := int(binary.BigEndian.Uint16(rest[:2]))
+	if len(rest) < 2+n {
+		return nil, ErrBadFrame
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	return rest[2 : 2+n], nil
+}
+
+// applyGrant retires the provisional short-RSA-protected key: the paper's
+// key-refresh step. The previous pair is kept so in-flight replies still
+// decrypt.
+func (h *Host) applyGrant(neut netip.Addr, g shim.Grant, epoch keys.Epoch) {
+	cd, ok := h.conduits[neut]
+	if !ok {
+		// A grant for a neutralizer we have no conduit with (e.g. arrived
+		// via reverse-init conversation): adopt it outright.
+		h.conduits[neut] = &conduit{
+			neut: neut, nonce: g.Nonce, key: g.Key, epoch: epoch,
+		}
+		h.stats.GrantsApplied++
+		return
+	}
+	if cd.nonce == g.Nonce && aesutil.Equal(cd.key, g.Key) {
+		return // duplicate grant (retransmitted reply)
+	}
+	cd.prevNonce, cd.prevKey, cd.hasPrev = cd.nonce, cd.key, true
+	cd.nonce, cd.key, cd.epoch = g.Nonce, g.Key, epoch
+	cd.provisional = false
+	h.stats.GrantsApplied++
+}
+
+// sendReverseFirst sends the first packet of a customer-initiated
+// conversation: the key material and a session seed encrypted under the
+// peer's public key, plus the sealed first payload (§3.3).
+func (h *Host) sendReverseFirst(c *conv, peerPub e2e.PublicKey, g shim.Grant, epoch keys.Epoch, data []byte) error {
+	if !peerPub.Valid() {
+		return ErrNeedIdentity
+	}
+	plain := make([]byte, 0, reverseOfferLen)
+	plain = append(plain, g.Nonce[:]...)
+	plain = append(plain, g.Key[:]...)
+	var eb [4]byte
+	binary.BigEndian.PutUint32(eb[:], uint32(epoch))
+	plain = append(plain, eb[:]...)
+	seed := make([]byte, 32)
+	if _, err := io.ReadFull(h.cfg.Rand, seed); err != nil {
+		return err
+	}
+	plain = append(plain, seed...)
+	offer, err := e2e.EncryptSmall(h.cfg.Rand, peerPub, plain)
+	if err != nil {
+		return err
+	}
+	sess, err := e2e.SessionFromSeed(seed, h.cfg.Rand)
+	if err != nil {
+		return err
+	}
+	c.sess = sess
+	body := h.marshalBody(c, data)
+	frame, err := h.assembleFrame(c, offerKindReverse, offer, body)
+	if err != nil {
+		return err
+	}
+	sh := &shim.Header{
+		Type: shim.TypeReturn, Flags: h.cfg.ReturnFlags,
+		Epoch: epoch, Nonce: g.Nonce, ClearAddr: c.peer,
+	}
+	if err := h.sendShim(c.neut, 0, sh, frame); err != nil {
+		return err
+	}
+	h.stats.DataSent++
+	return nil
+}
+
+// acceptReverseInit handles a ReturnDelivered whose nonce matches no
+// conduit: the §3.3 first packet of a customer-initiated conversation.
+// The identity key recovers (nonce, Ks, epoch, seed); Ks then reveals the
+// hidden source.
+func (h *Host) acceptReverseInit(neut netip.Addr, sh *shim.Header) error {
+	frame := sh.Payload()
+	if len(frame) < 5 || frame[0] != frameVersion || frame[1]&fFlagOffer == 0 {
+		return ErrBadFrame
+	}
+	kind := frame[2]
+	n := int(frame[3])<<8 | int(frame[4])
+	if kind != offerKindReverse || len(frame) < 5+n {
+		return ErrBadFrame
+	}
+	offer := frame[5 : 5+n]
+	rest := frame[5+n:]
+	plain, err := h.cfg.Identity.DecryptSmall(offer)
+	if err != nil || len(plain) != reverseOfferLen {
+		return ErrBadFrame
+	}
+	var nonce keys.Nonce
+	var key aesutil.Key
+	copy(nonce[:], plain[:8])
+	copy(key[:], plain[8:24])
+	epoch := keys.Epoch(binary.BigEndian.Uint32(plain[24:28]))
+	seed := plain[28:]
+	if nonce != sh.Nonce {
+		return ErrBadFrame
+	}
+	peer, _, err := aesutil.DecryptAddr(key, sh.HiddenAddr)
+	if err != nil {
+		return err
+	}
+	sess, err := e2e.SessionFromSeed(seed, h.cfg.Rand)
+	if err != nil {
+		return err
+	}
+	// Adopt the key material as a conduit if we have none with this
+	// service (it is bound to our address, so it works for any customer
+	// in the domain).
+	if _, ok := h.conduits[neut]; !ok {
+		h.conduits[neut] = &conduit{neut: neut, nonce: nonce, key: key, epoch: epoch}
+	}
+	c := h.convs[peer]
+	if c == nil {
+		c = &conv{peer: peer, neut: neut}
+		h.convs[peer] = c
+	}
+	c.neut = neut
+	c.sess = sess
+	if frame[1]&fFlagSealed == 0 {
+		return ErrBadFrame
+	}
+	body, err := sess.Open(rest)
+	if err != nil {
+		return err
+	}
+	data, err := h.parseBody(c, body)
+	if err != nil {
+		return err
+	}
+	h.stats.DataReceived++
+	if h.cfg.OnData != nil && data != nil {
+		h.cfg.OnData(peer, data)
+	}
+	return nil
+}

@@ -1,0 +1,336 @@
+package eval
+
+import (
+	"crypto/rand"
+	"fmt"
+	"net"
+	"net/netip"
+	"time"
+
+	"netneutral/internal/core"
+	"netneutral/internal/crypto/aesutil"
+	"netneutral/internal/onion"
+)
+
+// RunE1 measures key-setup response throughput: one RSA-512 (e=3)
+// encryption plus nonce derivation per packet, exactly the per-packet
+// work of the paper's 24.4 kpps experiment.
+func RunE1() (*Result, error) {
+	env, err := NewBenchEnv(false, false)
+	if err != nil {
+		return nil, err
+	}
+	const n = 3000
+	rate := measureRate(n, func(int) {
+		if _, err := env.Neut.Process(env.SetupPkt); err != nil {
+			panic(err)
+		}
+	})
+	return &Result{ID: "E1", Title: "Key-setup throughput", Rows: []Row{
+		{Metric: "key-setup responses", Paper: "24.4 kpps", Measured: kpps(rate),
+			Note: "RSA-512 e=3 encrypt per packet; absolute value is hardware-dependent"},
+	}}, nil
+}
+
+// RunE2 derives the paper's "88 million sources" figure: with an hourly
+// master key, each outside source needs one key setup per hour, so
+// capacity = setup rate × 3600.
+func RunE2() (*Result, error) {
+	env, err := NewBenchEnv(false, false)
+	if err != nil {
+		return nil, err
+	}
+	const n = 2000
+	rate := measureRate(n, func(int) {
+		if _, err := env.Neut.Process(env.SetupPkt); err != nil {
+			panic(err)
+		}
+	})
+	perHour := rate * 3600
+	return &Result{ID: "E2", Title: "Sources served per master-key epoch", Rows: []Row{
+		{Metric: "epoch length", Paper: "1 hour", Measured: env.Sched.EpochLength().String(), Note: ""},
+		{Metric: "sources per epoch", Paper: "88 M", Measured: fmt.Sprintf("%.1f M", perHour/1e6),
+			Note: "setup rate × 3600 (paper's own derivation)"},
+	}}, nil
+}
+
+// RunE3 measures the data path against vanilla forwarding, two ways:
+// pure CPU cost (isolating the crypto overhead) and a loopback-UDP path
+// where, as in the paper's testbed, per-packet I/O dominates and the
+// ratio approaches the paper's 0.70.
+func RunE3() (*Result, error) {
+	env, err := NewBenchEnv(false, false)
+	if err != nil {
+		return nil, err
+	}
+	// CPU-only rates.
+	const nData = 30000
+	dataRate := measureRate(nData, func(int) {
+		if _, err := env.Neut.Process(env.DataPkt); err != nil {
+			panic(err)
+		}
+	})
+	vp := env.FreshVanilla()
+	const nVan = 200000
+	i := 0
+	vanRate := measureRate(nVan, func(int) {
+		if i++; i%200 == 0 {
+			vp = env.FreshVanilla()
+		}
+		if err := core.VanillaForward(vp); err != nil {
+			panic(err)
+		}
+	})
+	rows := []Row{
+		{Metric: "neutralized data path (CPU)", Paper: "422 kpps", Measured: kpps(dataRate),
+			Note: "hash + AES-block decrypt + rewrite per packet"},
+		{Metric: "vanilla forwarding (CPU)", Paper: "600 kpps", Measured: kpps(vanRate),
+			Note: "header validate + TTL + checksum"},
+		{Metric: "ratio (CPU)", Paper: "0.70", Measured: fmt.Sprintf("%.2f", dataRate/vanRate),
+			Note: "pure CPU exaggerates crypto share; paper path was I/O-bound"},
+	}
+	// I/O path over loopback UDP, mirroring the testbed's bottleneck.
+	ioData, err1 := measureUDPPath(func(pkt []byte) ([]byte, bool) {
+		outs, err := env.Neut.Process(pkt)
+		if err != nil || len(outs) == 0 {
+			return nil, false
+		}
+		return outs[0].Pkt, true
+	}, env.DataPkt, 8000)
+	ioVan, err2 := measureUDPPath(func(pkt []byte) ([]byte, bool) {
+		cp := make([]byte, len(pkt))
+		copy(cp, pkt)
+		if err := core.VanillaForward(cp); err != nil {
+			return nil, false
+		}
+		return cp, true
+	}, env.FreshVanilla(), 8000)
+	if err1 == nil && err2 == nil && ioVan > 0 {
+		rows = append(rows,
+			Row{Metric: "neutralized data path (UDP loopback)", Paper: "422 kpps", Measured: kpps(ioData),
+				Note: "socket I/O per packet, like the testbed's forwarding bottleneck"},
+			Row{Metric: "vanilla forwarding (UDP loopback)", Paper: "600 kpps", Measured: kpps(ioVan),
+				Note: ""},
+			Row{Metric: "ratio (UDP loopback)", Paper: "0.70", Measured: fmt.Sprintf("%.2f", ioData/ioVan),
+				Note: "shape target: neutralization costs a modest constant factor"},
+		)
+	}
+	return &Result{ID: "E3", Title: "Data path vs vanilla forwarding", Rows: rows}, nil
+}
+
+// measureUDPPath runs a forwarder process on a loopback UDP socket:
+// client → forwarder(process) → sink, and returns delivered packets/sec.
+func measureUDPPath(process func([]byte) ([]byte, bool), pkt []byte, n int) (float64, error) {
+	fwd, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return 0, err
+	}
+	defer fwd.Close()
+	sink, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return 0, err
+	}
+	defer sink.Close()
+	_ = fwd.SetReadBuffer(4 << 20)
+	_ = sink.SetReadBuffer(4 << 20)
+	sinkAddr := sink.LocalAddr().(*net.UDPAddr)
+
+	// Forwarder loop.
+	go func() {
+		buf := make([]byte, 2048)
+		for {
+			m, _, err := fwd.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			if out, ok := process(buf[:m]); ok {
+				_, _ = fwd.WriteToUDP(out, sinkAddr)
+			}
+		}
+	}()
+
+	// Sink counts.
+	done := make(chan int, 1)
+	go func() {
+		buf := make([]byte, 2048)
+		count := 0
+		for count < n {
+			_ = sink.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+			_, _, err := sink.ReadFromUDP(buf)
+			if err != nil {
+				break
+			}
+			count++
+		}
+		done <- count
+	}()
+
+	client, err := net.DialUDP("udp4", nil, fwd.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		return 0, err
+	}
+	defer client.Close()
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := client.Write(pkt); err != nil {
+			return 0, err
+		}
+		if i%64 == 63 {
+			// Brief yield so loopback buffers drain; keeps drop rates low
+			// without materially distorting the measured rate.
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	received := <-done
+	el := time.Since(start).Seconds()
+	if received == 0 || el <= 0 {
+		return 0, fmt.Errorf("eval: UDP path delivered nothing")
+	}
+	return float64(received) / el, nil
+}
+
+// RunE4 measures the raw symmetric-crypto rate: the paper's openssl
+// number (2.35M ops/s) showing the CPU's crypto capacity far exceeds the
+// achieved packet rate — forwarding, not crypto, is the bottleneck.
+func RunE4() (*Result, error) {
+	key := aesutil.Key{1}
+	data := make([]byte, 16)
+	const n = 2_000_000
+	rate := measureRate(n, func(i int) {
+		data[0] = byte(i)
+		_ = aesutil.CBCMAC(key, data)
+	})
+	a := netip.MustParseAddr("10.0.0.1")
+	const n2 = 1_000_000
+	rate2 := measureRate(n2, func(i int) {
+		if _, err := aesutil.EncryptAddr(key, a, [8]byte{byte(i)}); err != nil {
+			panic(err)
+		}
+	})
+	return &Result{ID: "E4", Title: "Raw crypto operation rate", Rows: []Row{
+		{Metric: "keyed hash (AES CBC-MAC)", Paper: "2.35 M ops/s", Measured: fmt.Sprintf("%.2f M ops/s", rate/1e6),
+			Note: "crypto capacity ≫ packet rate, matching the paper's bottleneck analysis"},
+		{Metric: "address-block encrypt", Paper: "2.35 M ops/s", Measured: fmt.Sprintf("%.2f M ops/s", rate2/1e6),
+			Note: "one AES block per packet"},
+	}}, nil
+}
+
+// RunA1 contrasts the chosen key-setup design (neutralizer encrypts,
+// e=3) with the §3.2 alternative (neutralizer decrypts under its own
+// certified key).
+func RunA1() (*Result, error) {
+	env, err := NewBenchEnv(false, true)
+	if err != nil {
+		return nil, err
+	}
+	const n = 1500
+	chosen := measureRate(n, func(int) {
+		if _, err := env.Neut.Process(env.SetupPkt); err != nil {
+			panic(err)
+		}
+	})
+	alt := measureRate(n, func(int) {
+		if _, err := env.Neut.Process(env.AltPkt); err != nil {
+			panic(err)
+		}
+	})
+	return &Result{ID: "A1", Title: "Chosen key setup vs certified-pubkey alternative", Rows: []Row{
+		{Metric: "chosen design (RSA encrypt, e=3)", Paper: "-", Measured: kpps(chosen),
+			Note: "extra RTT amortized over an epoch of packets"},
+		{Metric: "alternative (RSA decrypt)", Paper: "-", Measured: kpps(alt),
+			Note: "saves one RTT but cannot be offloaded"},
+		{Metric: "chosen / alternative", Paper: "faster", Measured: fmt.Sprintf("%.1fx", chosen/alt),
+			Note: "the §3.2 argument: decryption would make DoS easier"},
+	}}, nil
+}
+
+// RunA2 measures the neutralizer-side cost of a key setup when the RSA
+// work is offloaded to a willing customer (§3.2): stamping and forwarding
+// only.
+func RunA2() (*Result, error) {
+	local, err := NewBenchEnv(false, false)
+	if err != nil {
+		return nil, err
+	}
+	off, err := NewBenchEnv(true, false)
+	if err != nil {
+		return nil, err
+	}
+	const n = 3000
+	localRate := measureRate(n, func(int) {
+		if _, err := local.Neut.Process(local.SetupPkt); err != nil {
+			panic(err)
+		}
+	})
+	offRate := measureRate(n, func(int) {
+		if _, err := off.Neut.Process(off.SetupPkt); err != nil {
+			panic(err)
+		}
+	})
+	return &Result{ID: "A2", Title: "Offloading key-setup RSA work", Rows: []Row{
+		{Metric: "local RSA encryption", Paper: "-", Measured: kpps(localRate), Note: ""},
+		{Metric: "offloaded (stamp + forward)", Paper: "-", Measured: kpps(offRate),
+			Note: "customer (e.g. the destination) performs the encryption"},
+		{Metric: "speedup at neutralizer", Paper: ">1", Measured: fmt.Sprintf("%.1fx", offRate/localRate),
+			Note: "line-speed remedy the paper proposes"},
+	}}, nil
+}
+
+// RunA3 stages the §5 comparison with anonymous routing: per-flow state
+// and public-key operations at relays vs the neutralizer's statelessness.
+func RunA3() (*Result, error) {
+	relays := make([]*onion.Relay, 3)
+	for i := range relays {
+		r, err := onion.NewRelay(rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		relays[i] = r
+	}
+	const flows = 200
+	start := time.Now()
+	circs := make([]*onion.Circuit, flows)
+	for i := range circs {
+		c, err := onion.BuildCircuit(rand.Reader, relays...)
+		if err != nil {
+			return nil, err
+		}
+		circs[i] = c
+	}
+	setupDur := time.Since(start)
+	var pkOps, state uint64
+	for _, r := range relays {
+		pkOps += r.PKOps
+		state += uint64(r.StateSize())
+	}
+
+	env, err := NewBenchEnv(false, false)
+	if err != nil {
+		return nil, err
+	}
+	// The neutralizer's equivalent of "200 flows": 200 data packets from
+	// distinct conversations — no setup beyond each source's single
+	// per-epoch key setup, and no state.
+	for i := 0; i < flows; i++ {
+		if _, err := env.Neut.Process(env.DataPkt); err != nil {
+			return nil, err
+		}
+	}
+	neutSetups := env.Neut.Stats().KeySetups.Load()
+
+	res := &Result{ID: "A3", Title: "Neutralizer vs onion routing (3 hops)", Rows: []Row{
+		{Metric: "relay PK ops for 200 flows", Paper: "-", Measured: fmt.Sprintf("%d", pkOps),
+			Note: "one RSA decrypt per hop per circuit"},
+		{Metric: "relay state entries", Paper: "-", Measured: fmt.Sprintf("%d", state),
+			Note: "per-flow circuit tables at every relay"},
+		{Metric: "circuit setup time (200 flows)", Paper: "-", Measured: setupDur.Round(time.Millisecond).String(), Note: ""},
+		{Metric: "neutralizer PK ops for same flows", Paper: "much fewer", Measured: fmt.Sprintf("%d", neutSetups),
+			Note: "per source per epoch, not per flow; zero here (keys pre-derived)"},
+		{Metric: "neutralizer per-flow state", Paper: "none", Measured: fmt.Sprintf("%d", env.Neut.DynAddrCount()),
+			Note: "stateless data path"},
+	}}
+	for _, c := range circs {
+		c.Close()
+	}
+	return res, nil
+}

@@ -1,0 +1,164 @@
+package intserv
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"netneutral/internal/netem"
+	"netneutral/internal/wire"
+)
+
+var (
+	srcA = netip.MustParseAddr("172.16.0.1")
+	srcB = netip.MustParseAddr("172.16.0.2")
+	dstX = netip.MustParseAddr("10.10.0.1")
+)
+
+func pkt(t testing.TB, src, dst netip.Addr, size int) []byte {
+	t.Helper()
+	payload := make([]byte, size)
+	buf := wire.NewSerializeBuffer(28, len(payload))
+	buf.PushPayload(payload)
+	if err := wire.SerializeLayers(buf,
+		&wire.IPv4{TTL: 64, Protocol: wire.ProtoUDP, Src: src, Dst: dst},
+		&wire.UDP{SrcPort: 1, DstPort: 2},
+	); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestTableAdmissionControl(t *testing.T) {
+	tbl := NewTable(100_000)
+	f1 := FlowID{Src: srcA, Dst: dstX}
+	if err := tbl.Reserve(Reservation{Flow: f1, RateBps: 64_000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Reserve(Reservation{Flow: f1, RateBps: 1}); err != ErrDuplicateFlow {
+		t.Errorf("duplicate: %v", err)
+	}
+	f2 := FlowID{Src: srcB, Dst: dstX}
+	if err := tbl.Reserve(Reservation{Flow: f2, RateBps: 64_000}); err != ErrNoCapacity {
+		t.Errorf("over capacity: %v", err)
+	}
+	if err := tbl.Reserve(Reservation{Flow: f2, RateBps: 36_000}); err != nil {
+		t.Errorf("within capacity: %v", err)
+	}
+	if tbl.Len() != 2 || tbl.Used() != 100_000 {
+		t.Errorf("len=%d used=%v", tbl.Len(), tbl.Used())
+	}
+	tbl.Release(f1)
+	if tbl.Len() != 1 || tbl.Used() != 36_000 {
+		t.Errorf("after release: len=%d used=%v", tbl.Len(), tbl.Used())
+	}
+	if _, ok := tbl.Lookup(f1); ok {
+		t.Error("released flow still present")
+	}
+}
+
+func TestFlowOf(t *testing.T) {
+	f, err := FlowOf(pkt(t, srcA, dstX, 10))
+	if err != nil || f.Src != srcA || f.Dst != dstX {
+		t.Errorf("FlowOf = %v, %v", f, err)
+	}
+	if _, err := FlowOf([]byte{1}); err == nil {
+		t.Error("short packet should fail")
+	}
+	if f.String() == "" {
+		t.Error("String")
+	}
+}
+
+func TestGuaranteedQueuePriority(t *testing.T) {
+	tbl := NewTable(1e9)
+	if err := tbl.Reserve(Reservation{Flow: FlowID{Src: srcA, Dst: dstX}, RateBps: 1e6, Burst: 10000}); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	q := NewGuaranteedQueue(tbl, 16, func() time.Time { return now })
+
+	best := pkt(t, srcB, dstX, 100)
+	resv := pkt(t, srcA, dstX, 100)
+	q.Enqueue(&netem.QueuedPacket{Pkt: best, Size: len(best)})
+	q.Enqueue(&netem.QueuedPacket{Pkt: resv, Size: len(resv)})
+
+	first := q.Dequeue()
+	src, _, _ := wire.IPv4Addrs(first.Pkt)
+	if src != srcA {
+		t.Error("reserved flow should dequeue before best effort")
+	}
+	if q.ReservedServed != 1 {
+		t.Error("ReservedServed counter")
+	}
+	second := q.Dequeue()
+	if src2, _, _ := wire.IPv4Addrs(second.Pkt); src2 != srcB {
+		t.Error("best effort should follow")
+	}
+	if q.Dequeue() != nil || q.Len() != 0 {
+		t.Error("queue should be empty")
+	}
+}
+
+func TestGuaranteedQueuePolicing(t *testing.T) {
+	tbl := NewTable(1e9)
+	// 8 kbps with ~1500B burst: only the burst conforms at t=0.
+	if err := tbl.Reserve(Reservation{Flow: FlowID{Src: srcA, Dst: dstX}, RateBps: 8_000, Burst: 1500}); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	q := NewGuaranteedQueue(tbl, 100, func() time.Time { return now })
+	p := pkt(t, srcA, dstX, 700)
+	for i := 0; i < 4; i++ {
+		q.Enqueue(&netem.QueuedPacket{Pkt: p, Size: len(p)})
+	}
+	// ~2 packets conform (1500B burst / ~728B each); excess degrades to
+	// best effort rather than being dropped.
+	if q.NonConforming < 2 {
+		t.Errorf("NonConforming = %d, want >= 2", q.NonConforming)
+	}
+	if q.Len() != 4 {
+		t.Errorf("Len = %d: excess should be queued best-effort", q.Len())
+	}
+}
+
+// TestAnonymizedFlowsCollapse demonstrates the §3.4 problem: behind the
+// anycast address, distinct customer flows are indistinguishable to an
+// RSVP router, so per-flow guarantees cannot be expressed — while with
+// dynamic addresses they can.
+func TestAnonymizedFlowsCollapse(t *testing.T) {
+	anycast := netip.MustParseAddr("10.200.0.1")
+	outside := srcA
+
+	// Two different customers' return traffic, anonymized: identical FlowID.
+	f1, _ := FlowOf(pkt(t, anycast, outside, 10))
+	f2, _ := FlowOf(pkt(t, anycast, outside, 10))
+	if f1 != f2 {
+		t.Fatal("sanity: anonymized flows should collapse")
+	}
+	tbl := NewTable(1e9)
+	if err := tbl.Reserve(Reservation{Flow: f1, RateBps: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Reserve(Reservation{Flow: f2, RateBps: 1000}); err != ErrDuplicateFlow {
+		t.Errorf("second anonymized flow: err = %v, want ErrDuplicateFlow", err)
+	}
+
+	// With per-flow dynamic addresses the flows are distinct.
+	dyn1 := netip.MustParseAddr("10.250.0.1")
+	dyn2 := netip.MustParseAddr("10.250.0.2")
+	g1, _ := FlowOf(pkt(t, dyn1, outside, 10))
+	g2, _ := FlowOf(pkt(t, dyn2, outside, 10))
+	if g1 == g2 {
+		t.Fatal("dynamic addresses must separate flows")
+	}
+	if err := tbl.Reserve(Reservation{Flow: g1, RateBps: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Reserve(Reservation{Flow: g2, RateBps: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 3 {
+		t.Errorf("reservations = %d", tbl.Len())
+	}
+}

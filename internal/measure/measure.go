@@ -1,0 +1,211 @@
+// Package measure provides the instrumentation used by experiments:
+// latency histograms with quantiles, throughput meters, an RFC 3550
+// jitter estimator, and a simplified ITU-T G.107 E-model that converts
+// delay and loss into a VoIP MOS score (how the Vonage-degradation story
+// of the paper's introduction is quantified).
+package measure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram collects duration samples and answers quantile queries.
+// It stores raw samples (experiments are small); the zero value is ready
+// to use.
+type Histogram struct {
+	samples []time.Duration
+	sorted  bool
+	sum     time.Duration
+	max     time.Duration
+}
+
+// Add records a sample.
+func (h *Histogram) Add(d time.Duration) {
+	h.samples = append(h.samples, d)
+	h.sorted = false
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the average sample, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(len(h.samples))
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank, or 0
+// with no samples.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[len(h.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.samples[idx]
+}
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+}
+
+// Meter counts events and bytes over a time span.
+type Meter struct {
+	count uint64
+	bytes uint64
+	first time.Time
+	last  time.Time
+	seen  bool
+}
+
+// Record adds an event of the given size at time t.
+func (m *Meter) Record(t time.Time, size int) {
+	if !m.seen {
+		m.first, m.seen = t, true
+	}
+	m.last = t
+	m.count++
+	m.bytes += uint64(size)
+}
+
+// Count returns recorded events.
+func (m *Meter) Count() uint64 { return m.count }
+
+// Bytes returns recorded bytes.
+func (m *Meter) Bytes() uint64 { return m.bytes }
+
+// Span returns the time between first and last event.
+func (m *Meter) Span() time.Duration {
+	if !m.seen {
+		return 0
+	}
+	return m.last.Sub(m.first)
+}
+
+// RatePerSec returns events/second over the span (0 if degenerate).
+func (m *Meter) RatePerSec() float64 {
+	s := m.Span().Seconds()
+	if s <= 0 || m.count < 2 {
+		return 0
+	}
+	return float64(m.count-1) / s
+}
+
+// BitsPerSec returns the goodput in bits/second over the span.
+func (m *Meter) BitsPerSec() float64 {
+	s := m.Span().Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(m.bytes*8) / s
+}
+
+// Jitter is the RFC 3550 interarrival jitter estimator:
+// J += (|D(i-1,i)| - J) / 16.
+type Jitter struct {
+	lastTransit time.Duration
+	j           float64
+	seen        bool
+}
+
+// Update records a packet with the given one-way transit time.
+func (j *Jitter) Update(transit time.Duration) {
+	if !j.seen {
+		j.lastTransit, j.seen = transit, true
+		return
+	}
+	d := transit - j.lastTransit
+	if d < 0 {
+		d = -d
+	}
+	j.lastTransit = transit
+	j.j += (float64(d) - j.j) / 16
+}
+
+// Value returns the current jitter estimate.
+func (j *Jitter) Value() time.Duration { return time.Duration(j.j) }
+
+// MOS computes a simplified E-model (ITU-T G.107) mean opinion score for
+// a G.711 call with the given one-way mouth-to-ear delay and packet loss
+// ratio (0..1). Returns a value in [1, 4.5]: below ~3.5 users complain;
+// the paper's targeted-degradation scenario drives a competitor's VoIP
+// below that threshold while the ISP's own service stays high.
+func MOS(oneWayDelay time.Duration, loss float64) float64 {
+	d := float64(oneWayDelay.Milliseconds())
+	// Delay impairment Id.
+	id := 0.024*d + 0.11*(d-177.3)*heaviside(d-177.3)
+	// Equipment impairment Ie-eff for G.711 with packet-loss concealment:
+	// Ie = 0, Bpl = 25.1 (G.113 Appendix I).
+	const bpl = 25.1
+	ppl := loss * 100
+	ieEff := 0 + (95-0)*ppl/(ppl+bpl)
+	r := 93.2 - id - ieEff
+	return rToMOS(r)
+}
+
+func heaviside(x float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	return 0
+}
+
+func rToMOS(r float64) float64 {
+	if r < 0 {
+		return 1
+	}
+	if r > 100 {
+		r = 100
+	}
+	mos := 1 + 0.035*r + r*(r-60)*(100-r)*7e-6
+	if mos < 1 {
+		return 1
+	}
+	if mos > 4.5 {
+		return 4.5
+	}
+	return mos
+}
+
+// LossCounter tracks delivered vs. expected packets.
+type LossCounter struct {
+	Sent     uint64
+	Received uint64
+}
+
+// Loss returns the loss ratio in [0,1].
+func (l *LossCounter) Loss() float64 {
+	if l.Sent == 0 {
+		return 0
+	}
+	if l.Received >= l.Sent {
+		return 0
+	}
+	return float64(l.Sent-l.Received) / float64(l.Sent)
+}

@@ -1,0 +1,152 @@
+package measure
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("zero-value histogram should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Add(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if got, want := h.Mean(), 50500*time.Microsecond; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if got := h.Quantile(0.5); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := h.Quantile(0.95); got != 95*time.Millisecond {
+		t.Errorf("p95 = %v", got)
+	}
+	if got := h.Quantile(0); got != time.Millisecond {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := h.Quantile(1); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Errorf("Max = %v", h.Max())
+	}
+	if h.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestHistogramQuantileAfterMoreAdds(t *testing.T) {
+	var h Histogram
+	h.Add(10 * time.Millisecond)
+	_ = h.Quantile(0.5) // sorts
+	h.Add(1 * time.Millisecond)
+	if got := h.Quantile(0); got != time.Millisecond {
+		t.Errorf("histogram must re-sort after Add: p0 = %v", got)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	var m Meter
+	t0 := time.Unix(0, 0)
+	if m.RatePerSec() != 0 || m.BitsPerSec() != 0 {
+		t.Error("empty meter rates should be 0")
+	}
+	// 11 events over 10 seconds = 1 interarrival/sec.
+	for i := 0; i <= 10; i++ {
+		m.Record(t0.Add(time.Duration(i)*time.Second), 125)
+	}
+	if m.Count() != 11 || m.Bytes() != 11*125 {
+		t.Errorf("count=%d bytes=%d", m.Count(), m.Bytes())
+	}
+	if got := m.RatePerSec(); got != 1.0 {
+		t.Errorf("RatePerSec = %v", got)
+	}
+	if got := m.BitsPerSec(); got != float64(11*125*8)/10 {
+		t.Errorf("BitsPerSec = %v", got)
+	}
+	if m.Span() != 10*time.Second {
+		t.Errorf("Span = %v", m.Span())
+	}
+}
+
+func TestJitterConstantTransitIsZero(t *testing.T) {
+	var j Jitter
+	for i := 0; i < 50; i++ {
+		j.Update(20 * time.Millisecond)
+	}
+	if j.Value() != 0 {
+		t.Errorf("constant transit should have zero jitter, got %v", j.Value())
+	}
+}
+
+func TestJitterGrowsWithVariance(t *testing.T) {
+	var j Jitter
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 {
+			j.Update(20 * time.Millisecond)
+		} else {
+			j.Update(30 * time.Millisecond)
+		}
+	}
+	// RFC 3550 converges toward |D| = 10ms.
+	if j.Value() < 5*time.Millisecond || j.Value() > 10*time.Millisecond {
+		t.Errorf("jitter = %v, want ~[5ms,10ms]", j.Value())
+	}
+}
+
+func TestMOSCleanCallIsGood(t *testing.T) {
+	mos := MOS(20*time.Millisecond, 0)
+	if mos < 4.2 {
+		t.Errorf("clean call MOS = %v, want >= 4.2", mos)
+	}
+}
+
+func TestMOSDegradesWithLoss(t *testing.T) {
+	clean := MOS(20*time.Millisecond, 0)
+	lossy := MOS(20*time.Millisecond, 0.05)
+	awful := MOS(20*time.Millisecond, 0.25)
+	if !(clean > lossy && lossy > awful) {
+		t.Errorf("MOS ordering violated: %v %v %v", clean, lossy, awful)
+	}
+	if awful > 3.0 {
+		t.Errorf("25%% loss should be below 3.0, got %v", awful)
+	}
+}
+
+func TestMOSDegradesWithDelay(t *testing.T) {
+	fast := MOS(20*time.Millisecond, 0)
+	slow := MOS(400*time.Millisecond, 0)
+	if !(fast > slow) {
+		t.Errorf("MOS(20ms)=%v should beat MOS(400ms)=%v", fast, slow)
+	}
+	if slow > 4.0 {
+		t.Errorf("400ms one-way delay should hurt: %v", slow)
+	}
+}
+
+func TestMOSBounds(t *testing.T) {
+	if got := MOS(5*time.Second, 1.0); got != 1 {
+		t.Errorf("worst case MOS = %v, want 1", got)
+	}
+	if got := MOS(0, 0); got > 4.5 {
+		t.Errorf("MOS ceiling exceeded: %v", got)
+	}
+}
+
+func TestLossCounter(t *testing.T) {
+	l := LossCounter{Sent: 100, Received: 90}
+	if got := l.Loss(); got != 0.1 {
+		t.Errorf("Loss = %v", got)
+	}
+	if (&LossCounter{}).Loss() != 0 {
+		t.Error("empty counter loss != 0")
+	}
+	over := LossCounter{Sent: 10, Received: 12} // duplicates
+	if over.Loss() != 0 {
+		t.Error("over-receive should clamp to 0")
+	}
+}

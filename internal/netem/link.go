@@ -1,0 +1,329 @@
+package netem
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"time"
+)
+
+// QueuedPacket is a packet waiting in a link's egress queue, annotated
+// with the metadata queue disciplines need.
+type QueuedPacket struct {
+	Pkt     []byte
+	DSCP    uint8
+	Size    int
+	Arrived time.Time
+}
+
+// Queue is a link egress queue discipline. FIFO is the default; package
+// diffserv provides DSCP-aware disciplines. Implementations are used from
+// the single-threaded event loop and need no locking.
+type Queue interface {
+	// Enqueue accepts a packet or reports it dropped.
+	Enqueue(p *QueuedPacket) bool
+	// Dequeue returns the next packet to transmit, or nil if empty.
+	Dequeue() *QueuedPacket
+	// Len reports queued packets.
+	Len() int
+}
+
+// FIFOQueue is a bounded tail-drop FIFO.
+type FIFOQueue struct {
+	q   []*QueuedPacket
+	cap int
+}
+
+// NewFIFOQueue creates a FIFO with the given capacity (packets).
+func NewFIFOQueue(capacity int) *FIFOQueue {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &FIFOQueue{cap: capacity}
+}
+
+// Enqueue implements Queue.
+func (f *FIFOQueue) Enqueue(p *QueuedPacket) bool {
+	if len(f.q) >= f.cap {
+		return false
+	}
+	f.q = append(f.q, p)
+	return true
+}
+
+// Dequeue implements Queue.
+func (f *FIFOQueue) Dequeue() *QueuedPacket {
+	if len(f.q) == 0 {
+		return nil
+	}
+	p := f.q[0]
+	f.q = f.q[1:]
+	return p
+}
+
+// Len implements Queue.
+func (f *FIFOQueue) Len() int { return len(f.q) }
+
+// LinkConfig describes one direction of a link.
+type LinkConfig struct {
+	// Delay is the propagation delay.
+	Delay time.Duration
+	// RateBps is the transmission rate in bits per second; zero means
+	// infinite (no serialization delay).
+	RateBps float64
+	// QueueLen bounds the egress queue in packets (default 64).
+	QueueLen int
+	// Cost is the routing metric (default: Delay in microseconds, min 1).
+	Cost float64
+}
+
+func (c LinkConfig) cost() float64 {
+	if c.Cost > 0 {
+		return c.Cost
+	}
+	if c.Delay > 0 {
+		return float64(c.Delay.Microseconds())
+	}
+	return 1
+}
+
+// Link is a bidirectional connection between two nodes, with independent
+// egress state per direction.
+type Link struct {
+	a, b *Node
+	dirs [2]*linkDir // [0] a->b, [1] b->a
+}
+
+type linkDir struct {
+	sim     *Simulator
+	from    *Node
+	to      *Node
+	cfg     LinkConfig
+	queue   Queue
+	busy    bool
+	sent    uint64
+	dropped uint64
+}
+
+// Connect joins two nodes with symmetric link characteristics.
+func (s *Simulator) Connect(a, b *Node, cfg LinkConfig) *Link {
+	return s.ConnectAsym(a, b, cfg, cfg)
+}
+
+// ConnectAsym joins two nodes with per-direction characteristics
+// (ab for a→b, ba for b→a).
+func (s *Simulator) ConnectAsym(a, b *Node, ab, ba LinkConfig) *Link {
+	l := &Link{a: a, b: b}
+	l.dirs[0] = &linkDir{sim: s, from: a, to: b, cfg: ab, queue: NewFIFOQueue(ab.QueueLen)}
+	l.dirs[1] = &linkDir{sim: s, from: b, to: a, cfg: ba, queue: NewFIFOQueue(ba.QueueLen)}
+	a.links = append(a.links, l)
+	b.links = append(b.links, l)
+	return l
+}
+
+// Peer returns the node on the other end of the link from n.
+func (l *Link) Peer(n *Node) *Node {
+	if n == l.a {
+		return l.b
+	}
+	return l.a
+}
+
+// SetQueue replaces the egress queue discipline for the direction
+// originating at from (e.g. a DiffServ priority queue at an ISP edge).
+func (l *Link) SetQueue(from *Node, q Queue) error {
+	d := l.dir(from)
+	if d == nil {
+		return ErrNotConnected
+	}
+	d.queue = q
+	return nil
+}
+
+// Stats reports packets sent and dropped in the direction from the given
+// node.
+func (l *Link) Stats(from *Node) (sent, dropped uint64) {
+	d := l.dir(from)
+	if d == nil {
+		return 0, 0
+	}
+	return d.sent, d.dropped
+}
+
+// QueueLen reports the current egress queue length in the direction from
+// the given node.
+func (l *Link) QueueLen(from *Node) int {
+	d := l.dir(from)
+	if d == nil {
+		return 0
+	}
+	return d.queue.Len()
+}
+
+func (l *Link) dir(from *Node) *linkDir {
+	if from == l.a {
+		return l.dirs[0]
+	}
+	if from == l.b {
+		return l.dirs[1]
+	}
+	return nil
+}
+
+// transmit enqueues pkt for transmission from node from across the link.
+func (l *Link) transmit(from *Node, pkt []byte) {
+	d := l.dir(from)
+	if d == nil {
+		return
+	}
+	dscp := uint8(0)
+	if len(pkt) >= 2 {
+		dscp = pkt[1] >> 2
+	}
+	qp := &QueuedPacket{Pkt: clone(pkt), DSCP: dscp, Size: len(pkt), Arrived: d.sim.now}
+	if !d.queue.Enqueue(qp) {
+		d.dropped++
+		d.sim.emit(TraceDropQueue, from, pkt)
+		return
+	}
+	if !d.busy {
+		d.startTransmission()
+	}
+}
+
+// startTransmission pulls the next packet and schedules its departure and
+// arrival events.
+func (d *linkDir) startTransmission() {
+	qp := d.queue.Dequeue()
+	if qp == nil {
+		d.busy = false
+		return
+	}
+	d.busy = true
+	serialize := time.Duration(0)
+	if d.cfg.RateBps > 0 {
+		sec := float64(qp.Size*8) / d.cfg.RateBps
+		serialize = time.Duration(math.Round(sec * float64(time.Second)))
+	}
+	d.sim.Schedule(serialize, func() {
+		d.sent++
+		// Arrival at the far end after propagation.
+		to := d.to
+		pkt := qp.Pkt
+		d.sim.Schedule(d.cfg.Delay, func() { _ = to.dispatch(pkt, false) })
+		// Line is free; next packet.
+		d.startTransmission()
+	})
+}
+
+// BuildRoutes computes shortest-path routes (Dijkstra over link costs)
+// from every node to every node address and anycast group. It REPLACES
+// every node's routing table; call it after the topology is complete and
+// before adding manual prefix routes (AddRoute, InstallPrefixRoutes).
+func (s *Simulator) BuildRoutes() {
+	type nodeDist struct {
+		node *Node
+		dist float64
+	}
+	for _, src := range s.nodes {
+		// Dijkstra from src.
+		dist := map[*Node]float64{src: 0}
+		first := map[*Node]*Link{} // first-hop link from src toward node
+		visited := map[*Node]bool{}
+		frontier := []nodeDist{{src, 0}}
+		for len(frontier) > 0 {
+			// Extract min (linear; topologies are small).
+			mi := 0
+			for i := range frontier {
+				if frontier[i].dist < frontier[mi].dist {
+					mi = i
+				}
+			}
+			cur := frontier[mi]
+			frontier = append(frontier[:mi], frontier[mi+1:]...)
+			if visited[cur.node] {
+				continue
+			}
+			visited[cur.node] = true
+			for _, l := range cur.node.links {
+				d := l.dir(cur.node)
+				if d == nil {
+					continue
+				}
+				next := l.Peer(cur.node)
+				nd := cur.dist + d.cfg.cost()
+				if old, ok := dist[next]; !ok || nd < old {
+					dist[next] = nd
+					if cur.node == src {
+						first[next] = l
+					} else {
+						first[next] = first[cur.node]
+					}
+					frontier = append(frontier, nodeDist{next, nd})
+				}
+			}
+		}
+		// Install host routes for every reachable node's addresses.
+		src.routes = src.routes[:0]
+		for n, l := range first {
+			if l == nil {
+				continue
+			}
+			for _, a := range n.addrs {
+				src.AddRoute(netip.PrefixFrom(a, 32), l)
+			}
+		}
+		// Anycast: route to the nearest member.
+		for aAddr, members := range s.anycast {
+			var bestLink *Link
+			best := math.Inf(1)
+			for _, m := range members {
+				if m == src {
+					bestLink = nil
+					best = 0
+					break
+				}
+				if d, ok := dist[m]; ok && d < best {
+					best = d
+					bestLink = first[m]
+				}
+			}
+			if best == 0 && bestLink == nil {
+				continue // src itself serves the anycast address
+			}
+			if bestLink != nil {
+				src.AddRoute(netip.PrefixFrom(aAddr, 32), bestLink)
+			}
+		}
+	}
+}
+
+// InstallPrefixRoutes adds, on every node, a route for each given prefix
+// via the same first hop as a representative address inside the prefix.
+// This lets later-allocated addresses (dynamic addresses, spoofed
+// sources) route without rebuilding: the covering prefix matches.
+func (s *Simulator) InstallPrefixRoutes(prefixes ...netip.Prefix) error {
+	for _, p := range prefixes {
+		// Find any node address inside p to copy routing from.
+		var rep netip.Addr
+		found := false
+		for a := range s.byAddr {
+			if p.Contains(a) {
+				rep, found = a, true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("netem: no node address inside prefix %v", p)
+		}
+		for _, n := range s.nodes {
+			if n.HasAddr(rep) || p.Contains(n.Addr()) {
+				continue
+			}
+			if via := n.lookupRoute(rep); via != nil {
+				n.AddRoute(p, via)
+			}
+		}
+	}
+	return nil
+}

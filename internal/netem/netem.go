@@ -1,0 +1,476 @@
+// Package netem is a deterministic discrete-event network emulator: the
+// substrate standing in for the paper's testbed and for the Internet
+// topology of its Figure 1.
+//
+// A Simulator owns a virtual clock and an event heap. Nodes (hosts and
+// routers) are connected by Links with propagation delay, transmission
+// rate and bounded egress queues. Routing tables are computed with
+// Dijkstra over link costs; anycast groups resolve to the nearest member,
+// which is how the neutralizer's anycast address is modelled. Transit
+// hooks let middle networks (the discriminatory ISPs of package isp)
+// observe, delay, or drop packets in flight, and trace hooks feed the
+// measurement package.
+//
+// Everything runs single-threaded inside the event loop, so handlers may
+// freely call back into the simulator; with a fixed seed, runs are fully
+// reproducible.
+package netem
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"netneutral/internal/wire"
+)
+
+// Errors returned by the simulator.
+var (
+	ErrNoRoute       = errors.New("netem: no route to destination")
+	ErrUnknownNode   = errors.New("netem: unknown node")
+	ErrAddrInUse     = errors.New("netem: address already assigned")
+	ErrNotConnected  = errors.New("netem: nodes are not connected")
+	ErrTTLExhausted  = errors.New("netem: TTL exhausted")
+	ErrMalformedIPv4 = errors.New("netem: malformed IPv4 packet")
+)
+
+// Verdict is a transit hook's decision about a packet.
+type Verdict struct {
+	// Drop discards the packet.
+	Drop bool
+	// Delay holds the packet for the given duration before it continues.
+	Delay time.Duration
+	// DSCP, when non-nil, remarks the packet's DSCP (a discriminatory ISP
+	// deprioritizing traffic it cannot read).
+	DSCP *uint8
+}
+
+// Deliver is the zero Verdict: pass the packet unchanged.
+var Deliver = Verdict{}
+
+// TransitHook inspects a packet crossing a node. Hooks run on every
+// packet a node receives, before local delivery or forwarding. The hook
+// may read pkt but must not retain it past the call.
+type TransitHook func(now time.Time, node *Node, pkt []byte) Verdict
+
+// Handler consumes packets locally delivered to a node.
+type Handler func(now time.Time, pkt []byte)
+
+// TraceKind labels trace events.
+type TraceKind uint8
+
+// Trace event kinds.
+const (
+	TraceSend TraceKind = iota + 1
+	TraceForward
+	TraceDeliver
+	TraceDropQueue
+	TraceDropPolicy
+	TraceDropNoRoute
+	TraceDropTTL
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceSend:
+		return "send"
+	case TraceForward:
+		return "forward"
+	case TraceDeliver:
+		return "deliver"
+	case TraceDropQueue:
+		return "drop-queue"
+	case TraceDropPolicy:
+		return "drop-policy"
+	case TraceDropNoRoute:
+		return "drop-noroute"
+	case TraceDropTTL:
+		return "drop-ttl"
+	default:
+		return fmt.Sprintf("trace(%d)", uint8(k))
+	}
+}
+
+// TraceEvent describes one packet event for observers.
+type TraceEvent struct {
+	Kind TraceKind
+	Time time.Time
+	Node *Node
+	Pkt  []byte
+}
+
+// TraceHook observes packet events. It must not retain Pkt.
+type TraceHook func(ev TraceEvent)
+
+// Simulator is the discrete-event engine. Create with NewSimulator.
+type Simulator struct {
+	now    time.Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+
+	nodes   map[string]*Node
+	byAddr  map[netip.Addr]*Node
+	anycast map[netip.Addr][]*Node
+	traces  []TraceHook
+
+	packetsDelivered uint64
+	packetsDropped   uint64
+}
+
+// NewSimulator creates a simulator whose clock starts at start and whose
+// randomness derives from seed.
+func NewSimulator(start time.Time, seed int64) *Simulator {
+	return &Simulator{
+		now:     start,
+		rng:     rand.New(rand.NewSource(seed)),
+		nodes:   make(map[string]*Node),
+		byAddr:  make(map[netip.Addr]*Node),
+		anycast: make(map[netip.Addr][]*Node),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Time { return s.now }
+
+// Rand returns the simulator's seeded PRNG (deterministic runs).
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Trace registers a global trace hook.
+func (s *Simulator) Trace(h TraceHook) { s.traces = append(s.traces, h) }
+
+func (s *Simulator) emit(kind TraceKind, node *Node, pkt []byte) {
+	if kind == TraceDeliver {
+		s.packetsDelivered++
+	}
+	if kind >= TraceDropQueue {
+		s.packetsDropped++
+	}
+	for _, h := range s.traces {
+		h(TraceEvent{Kind: kind, Time: s.now, Node: node, Pkt: pkt})
+	}
+}
+
+// Delivered and Dropped report global packet counters.
+func (s *Simulator) Delivered() uint64 { return s.packetsDelivered }
+
+// Dropped reports the number of packets dropped anywhere in the network.
+func (s *Simulator) Dropped() uint64 { return s.packetsDropped }
+
+// Schedule runs fn after d of virtual time.
+func (s *Simulator) Schedule(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: s.now.Add(d), seq: s.seq, fn: fn})
+}
+
+// ScheduleAt runs fn at absolute virtual time t (clamped to now).
+func (s *Simulator) ScheduleAt(t time.Time, fn func()) {
+	if t.Before(s.now) {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// Run processes events until the queue is empty.
+func (s *Simulator) Run() {
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		s.now = ev.at
+		ev.fn()
+	}
+}
+
+// RunUntil processes events with timestamps <= t, then advances the clock
+// to t.
+func (s *Simulator) RunUntil(t time.Time) {
+	for len(s.events) > 0 && !s.events[0].at.After(t) {
+		ev := heap.Pop(&s.events).(*event)
+		s.now = ev.at
+		ev.fn()
+	}
+	if s.now.Before(t) {
+		s.now = t
+	}
+}
+
+// RunFor advances the simulation by d.
+func (s *Simulator) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
+
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)         { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any           { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() *event        { return h[0] }
+func (s *Simulator) PendingEvents() int { return len(s.events) }
+
+// Node is a host or router in the emulated network.
+type Node struct {
+	Name string
+	// Domain tags the administrative domain (ISP) the node belongs to;
+	// package isp uses it to scope eavesdropping and policy.
+	Domain string
+
+	sim     *Simulator
+	addrs   []netip.Addr
+	links   []*Link
+	routes  []route
+	handler Handler
+	hooks   []TransitHook
+}
+
+type route struct {
+	prefix netip.Prefix
+	link   *Link
+}
+
+// AddNode creates a node with the given unique name and addresses.
+func (s *Simulator) AddNode(name, domain string, addrs ...netip.Addr) (*Node, error) {
+	if _, dup := s.nodes[name]; dup {
+		return nil, fmt.Errorf("netem: duplicate node name %q", name)
+	}
+	n := &Node{Name: name, Domain: domain, sim: s}
+	for _, a := range addrs {
+		if _, dup := s.byAddr[a]; dup {
+			return nil, fmt.Errorf("%w: %v", ErrAddrInUse, a)
+		}
+	}
+	for _, a := range addrs {
+		s.byAddr[a] = n
+		n.addrs = append(n.addrs, a)
+	}
+	s.nodes[name] = n
+	return n, nil
+}
+
+// MustAddNode is AddNode that panics on error; for topology builders.
+func (s *Simulator) MustAddNode(name, domain string, addrs ...netip.Addr) *Node {
+	n, err := s.AddNode(name, domain, addrs...)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Node returns a node by name, or nil.
+func (s *Simulator) Node(name string) *Node { return s.nodes[name] }
+
+// NodeByAddr returns the node owning addr, or nil.
+func (s *Simulator) NodeByAddr(a netip.Addr) *Node { return s.byAddr[a] }
+
+// AddAnycast registers addr as an anycast address served by the given
+// nodes. Routing resolves it to the nearest member.
+func (s *Simulator) AddAnycast(addr netip.Addr, members ...*Node) {
+	s.anycast[addr] = append(s.anycast[addr], members...)
+}
+
+// AnycastMembers returns the members of an anycast group (nil if none).
+func (s *Simulator) AnycastMembers(addr netip.Addr) []*Node { return s.anycast[addr] }
+
+// Sim returns the simulator the node belongs to.
+func (n *Node) Sim() *Simulator { return n.sim }
+
+// Addrs returns the node's addresses.
+func (n *Node) Addrs() []netip.Addr { return n.addrs }
+
+// Addr returns the node's first address (its canonical identity), or the
+// zero Addr for address-less transit routers.
+func (n *Node) Addr() netip.Addr {
+	if len(n.addrs) == 0 {
+		return netip.Addr{}
+	}
+	return n.addrs[0]
+}
+
+// AddAddr assigns an extra address to the node at runtime (used by the
+// neutralizer's dynamic-address QoS remedy). Routes must be reinstalled
+// by the caller (Simulator.BuildRoutes) for remote reachability, or the
+// address can be covered by an existing prefix route.
+func (n *Node) AddAddr(a netip.Addr) error {
+	if _, dup := n.sim.byAddr[a]; dup {
+		return fmt.Errorf("%w: %v", ErrAddrInUse, a)
+	}
+	n.sim.byAddr[a] = n
+	n.addrs = append(n.addrs, a)
+	return nil
+}
+
+// RemoveAddr releases an address previously added with AddAddr.
+func (n *Node) RemoveAddr(a netip.Addr) {
+	if n.sim.byAddr[a] == n {
+		delete(n.sim.byAddr, a)
+	}
+	for i, x := range n.addrs {
+		if x == a {
+			n.addrs = append(n.addrs[:i], n.addrs[i+1:]...)
+			break
+		}
+	}
+}
+
+// HasAddr reports whether a is one of the node's addresses.
+func (n *Node) HasAddr(a netip.Addr) bool {
+	for _, x := range n.addrs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// SetHandler installs the local-delivery handler.
+func (n *Node) SetHandler(h Handler) { n.handler = h }
+
+// AddTransitHook installs a hook run on every packet the node receives.
+func (n *Node) AddTransitHook(h TransitHook) { n.hooks = append(n.hooks, h) }
+
+// AddRoute installs a static prefix route through the given link.
+func (n *Node) AddRoute(prefix netip.Prefix, l *Link) {
+	n.routes = append(n.routes, route{prefix: prefix, link: l})
+}
+
+// lookupRoute returns the best (longest-prefix) route for dst, or nil.
+func (n *Node) lookupRoute(dst netip.Addr) *Link {
+	best := -1
+	var via *Link
+	for i := range n.routes {
+		r := &n.routes[i]
+		if r.prefix.Contains(dst) && r.prefix.Bits() > best {
+			best = r.prefix.Bits()
+			via = r.link
+		}
+	}
+	return via
+}
+
+// Send originates a packet from node n. The packet must be a serialized
+// IPv4 datagram. Returns ErrNoRoute if the destination is unreachable.
+func (n *Node) Send(pkt []byte) error {
+	if len(pkt) < wire.IPv4HeaderLen {
+		return ErrMalformedIPv4
+	}
+	n.sim.emit(TraceSend, n, pkt)
+	return n.dispatch(pkt, true)
+}
+
+// dispatch delivers locally or forwards toward the destination. origin
+// marks packets sent by this node itself (no transit hooks, no TTL work).
+func (n *Node) dispatch(pkt []byte, origin bool) error {
+	if _, _, err := wire.IPv4Addrs(pkt); err != nil {
+		return ErrMalformedIPv4
+	}
+	if !origin {
+		// Transit/ingress policy.
+		var delay time.Duration
+		for _, h := range n.hooks {
+			v := h(n.sim.now, n, pkt)
+			if v.Drop {
+				n.sim.emit(TraceDropPolicy, n, pkt)
+				return nil
+			}
+			if v.Delay > delay {
+				delay = v.Delay
+			}
+			if v.DSCP != nil {
+				remarkDSCP(pkt, *v.DSCP)
+			}
+		}
+		if delay > 0 {
+			cp := clone(pkt)
+			n.sim.Schedule(delay, func() { _ = n.dispatchAfterPolicy(cp, false) })
+			return nil
+		}
+	}
+	return n.dispatchAfterPolicy(pkt, origin)
+}
+
+// dispatchAfterPolicy completes local delivery or forwarding once policy
+// hooks have run. origin marks packets originated by this node, which are
+// not TTL-decremented and do not count as forwarding.
+func (n *Node) dispatchAfterPolicy(pkt []byte, origin bool) error {
+	_, dst, err := wire.IPv4Addrs(pkt)
+	if err != nil {
+		return ErrMalformedIPv4
+	}
+	// Local unicast delivery?
+	if n.HasAddr(dst) {
+		n.deliver(pkt)
+		return nil
+	}
+	// Local anycast delivery?
+	if members := n.sim.anycast[dst]; len(members) > 0 {
+		for _, m := range members {
+			if m == n {
+				n.deliver(pkt)
+				return nil
+			}
+		}
+	}
+	// Forward.
+	link := n.lookupRoute(dst)
+	if link == nil {
+		n.sim.emit(TraceDropNoRoute, n, pkt)
+		return ErrNoRoute
+	}
+	if !origin {
+		alive, err := wire.DecrementTTL(pkt)
+		if err != nil {
+			return ErrMalformedIPv4
+		}
+		if !alive {
+			n.sim.emit(TraceDropTTL, n, pkt)
+			return ErrTTLExhausted
+		}
+		n.sim.emit(TraceForward, n, pkt)
+	}
+	link.transmit(n, pkt)
+	return nil
+}
+
+func (n *Node) deliver(pkt []byte) {
+	n.sim.emit(TraceDeliver, n, pkt)
+	if n.handler != nil {
+		n.handler(n.sim.now, pkt)
+	}
+}
+
+func remarkDSCP(pkt []byte, dscp uint8) {
+	if len(pkt) < wire.IPv4HeaderLen {
+		return
+	}
+	pkt[1] = dscp<<2 | pkt[1]&0b11
+	// Repair header checksum.
+	ihl := int(pkt[0]&0x0f) * 4
+	if len(pkt) < ihl {
+		return
+	}
+	pkt[10], pkt[11] = 0, 0
+	ck := wire.Checksum(pkt[:ihl])
+	pkt[10], pkt[11] = byte(ck>>8), byte(ck)
+}
+
+func clone(b []byte) []byte {
+	c := make([]byte, len(b))
+	copy(c, b)
+	return c
+}

@@ -1,0 +1,141 @@
+// Package trafficgen generates the workloads the experiments run: CBR
+// streams, G.711-like VoIP calls, and Poisson web-style request/response
+// mixes, all scheduled deterministically on a netem simulator.
+package trafficgen
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"netneutral/internal/netem"
+)
+
+// SendFunc emits one application payload; generators call it on schedule.
+// Implementations wrap an endhost.Host, a raw netem node, or anything
+// else that turns payloads into packets.
+type SendFunc func(seq uint64, payload []byte)
+
+// CBR is a constant-bit-rate stream: Size-byte payloads every Interval.
+type CBR struct {
+	Interval time.Duration
+	Size     int
+	// Count limits the number of packets (0 = until Stop duration).
+	Count int
+}
+
+// Run schedules the stream on sim starting immediately and running for
+// at most d (ignored when Count > 0). Returns the number of packets
+// scheduled.
+func (c CBR) Run(sim *netem.Simulator, d time.Duration, send SendFunc) int {
+	n := c.Count
+	if n == 0 {
+		if c.Interval <= 0 {
+			return 0
+		}
+		n = int(d / c.Interval)
+	}
+	for i := 0; i < n; i++ {
+		seq := uint64(i)
+		sim.Schedule(time.Duration(i)*c.Interval, func() {
+			send(seq, mkPayload(c.Size, seq))
+		})
+	}
+	return n
+}
+
+// VoIPCall models a one-direction G.711 stream: 160-byte frames every
+// 20ms (64 kbps), the paper's motivating Vonage workload.
+func VoIPCall(duration time.Duration) CBR {
+	return CBR{Interval: 20 * time.Millisecond, Size: 160,
+		Count: int(duration / (20 * time.Millisecond))}
+}
+
+// Poisson schedules events with exponentially distributed gaps at the
+// given mean rate (events/sec) for duration d, using the simulator's
+// seeded PRNG for reproducibility. Returns the number scheduled.
+func Poisson(sim *netem.Simulator, rate float64, d time.Duration, fn func(seq uint64)) int {
+	if rate <= 0 {
+		return 0
+	}
+	rng := sim.Rand()
+	t := time.Duration(0)
+	n := 0
+	for {
+		gap := time.Duration(expRand(rng, rate) * float64(time.Second))
+		t += gap
+		if t > d {
+			return n
+		}
+		seq := uint64(n)
+		sim.Schedule(t, func() { fn(seq) })
+		n++
+	}
+}
+
+// WebMix issues request/response exchanges: Poisson arrivals of requests
+// whose response sizes are Pareto-distributed (heavy-tailed, like web
+// objects).
+type WebMix struct {
+	// RatePerSec is the request arrival rate.
+	RatePerSec float64
+	// MinResponse and Alpha parameterize the Pareto response size.
+	MinResponse int
+	Alpha       float64
+}
+
+// Run schedules the mix for duration d; reqFn receives the request
+// sequence number and the size the responder should send back.
+func (w WebMix) Run(sim *netem.Simulator, d time.Duration, reqFn func(seq uint64, respSize int)) int {
+	minResp := w.MinResponse
+	if minResp <= 0 {
+		minResp = 1000
+	}
+	alpha := w.Alpha
+	if alpha <= 0 {
+		alpha = 1.2
+	}
+	rng := sim.Rand()
+	return Poisson(sim, w.RatePerSec, d, func(seq uint64) {
+		u := rng.Float64()
+		if u < 1e-9 {
+			u = 1e-9
+		}
+		size := int(float64(minResp) / math.Pow(u, 1/alpha))
+		if size > 1<<20 {
+			size = 1 << 20 // cap the tail at 1 MiB
+		}
+		reqFn(seq, size)
+	})
+}
+
+func expRand(rng *rand.Rand, rate float64) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return -math.Log(u) / rate
+}
+
+func mkPayload(size int, seq uint64) []byte {
+	if size < 8 {
+		size = 8
+	}
+	p := make([]byte, size)
+	for i := 0; i < 8; i++ {
+		p[i] = byte(seq >> (8 * (7 - i)))
+	}
+	return p
+}
+
+// SeqOf recovers the sequence number stamped into a generated payload.
+func SeqOf(payload []byte) uint64 {
+	if len(payload) < 8 {
+		return 0
+	}
+	var s uint64
+	for i := 0; i < 8; i++ {
+		s = s<<8 | uint64(payload[i])
+	}
+	return s
+}

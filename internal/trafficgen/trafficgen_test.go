@@ -1,0 +1,137 @@
+package trafficgen
+
+import (
+	"testing"
+	"time"
+
+	"netneutral/internal/netem"
+)
+
+var start = time.Date(2006, 11, 1, 0, 0, 0, 0, time.UTC)
+
+func TestCBRSchedule(t *testing.T) {
+	sim := netem.NewSimulator(start, 1)
+	var times []time.Duration
+	var sizes []int
+	n := CBR{Interval: 20 * time.Millisecond, Size: 160}.Run(sim, 100*time.Millisecond,
+		func(seq uint64, payload []byte) {
+			times = append(times, sim.Now().Sub(start))
+			sizes = append(sizes, len(payload))
+		})
+	sim.Run()
+	if n != 5 || len(times) != 5 {
+		t.Fatalf("scheduled %d, fired %d", n, len(times))
+	}
+	for i, at := range times {
+		if want := time.Duration(i) * 20 * time.Millisecond; at != want {
+			t.Errorf("packet %d at %v, want %v", i, at, want)
+		}
+		if sizes[i] != 160 {
+			t.Errorf("packet %d size = %d", i, sizes[i])
+		}
+	}
+}
+
+func TestCBRCountOverridesDuration(t *testing.T) {
+	sim := netem.NewSimulator(start, 1)
+	fired := 0
+	n := CBR{Interval: time.Millisecond, Size: 64, Count: 3}.Run(sim, time.Hour,
+		func(uint64, []byte) { fired++ })
+	sim.Run()
+	if n != 3 || fired != 3 {
+		t.Errorf("n=%d fired=%d", n, fired)
+	}
+}
+
+func TestVoIPCallShape(t *testing.T) {
+	c := VoIPCall(time.Second)
+	if c.Interval != 20*time.Millisecond || c.Size != 160 || c.Count != 50 {
+		t.Errorf("G.711 shape = %+v", c)
+	}
+	// 160 B / 20 ms = 64 kbps payload rate.
+	bps := float64(c.Size*8) / c.Interval.Seconds()
+	if bps != 64000 {
+		t.Errorf("payload rate = %v bps", bps)
+	}
+}
+
+func TestSeqStamping(t *testing.T) {
+	p := mkPayload(64, 0xDEADBEEF)
+	if SeqOf(p) != 0xDEADBEEF {
+		t.Errorf("SeqOf = %x", SeqOf(p))
+	}
+	if SeqOf([]byte{1}) != 0 {
+		t.Error("short payload should yield 0")
+	}
+	if len(mkPayload(2, 1)) != 8 {
+		t.Error("payload must fit the sequence stamp")
+	}
+}
+
+func TestPoissonRate(t *testing.T) {
+	sim := netem.NewSimulator(start, 42)
+	fired := 0
+	n := Poisson(sim, 100, 10*time.Second, func(uint64) { fired++ })
+	sim.Run()
+	if n != fired {
+		t.Fatalf("scheduled %d fired %d", n, fired)
+	}
+	// ~1000 expected; 4-sigma bounds.
+	if n < 850 || n > 1150 {
+		t.Errorf("poisson events = %d, want ~1000", n)
+	}
+}
+
+func TestPoissonZeroRate(t *testing.T) {
+	sim := netem.NewSimulator(start, 1)
+	if n := Poisson(sim, 0, time.Second, func(uint64) {}); n != 0 {
+		t.Errorf("n = %d", n)
+	}
+}
+
+func TestPoissonDeterministicWithSeed(t *testing.T) {
+	run := func() int {
+		sim := netem.NewSimulator(start, 9)
+		return Poisson(sim, 50, time.Second, func(uint64) {})
+	}
+	if run() != run() {
+		t.Error("same seed must schedule identically")
+	}
+}
+
+func TestWebMixSizes(t *testing.T) {
+	sim := netem.NewSimulator(start, 7)
+	var sizes []int
+	n := WebMix{RatePerSec: 200, MinResponse: 1000, Alpha: 1.2}.Run(sim, 5*time.Second,
+		func(_ uint64, respSize int) { sizes = append(sizes, respSize) })
+	sim.Run()
+	if n < 500 {
+		t.Fatalf("too few requests: %d", n)
+	}
+	minSeen, maxSeen := 1<<30, 0
+	for _, s := range sizes {
+		if s < minSeen {
+			minSeen = s
+		}
+		if s > maxSeen {
+			maxSeen = s
+		}
+	}
+	if minSeen < 1000 {
+		t.Errorf("response below minimum: %d", minSeen)
+	}
+	if maxSeen <= 2000 {
+		t.Errorf("heavy tail missing: max = %d", maxSeen)
+	}
+	if maxSeen > 1<<20 {
+		t.Errorf("tail cap violated: %d", maxSeen)
+	}
+}
+
+func TestWebMixDefaults(t *testing.T) {
+	sim := netem.NewSimulator(start, 7)
+	n := WebMix{RatePerSec: 10}.Run(sim, time.Second, func(uint64, int) {})
+	if n == 0 {
+		t.Error("defaults should produce traffic")
+	}
+}

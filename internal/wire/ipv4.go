@@ -1,0 +1,248 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// IP protocol numbers used by this system.
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+	// ProtoShim is the IP protocol number carried by neutralized packets.
+	// The paper fixes "a known value" for the shim; we use 253, reserved
+	// for experimentation and testing by RFC 3692.
+	ProtoShim uint8 = 253
+)
+
+// IPv4HeaderLen is the length of an IPv4 header without options.
+const IPv4HeaderLen = 20
+
+// MaxTTL is the initial time-to-live for generated packets.
+const MaxTTL uint8 = 64
+
+// Errors returned by IPv4 decoding.
+var (
+	ErrIPv4TooShort    = errors.New("wire: data too short for IPv4 header")
+	ErrIPv4BadVersion  = errors.New("wire: IP version is not 4")
+	ErrIPv4BadIHL      = errors.New("wire: IPv4 IHL below minimum")
+	ErrIPv4BadChecksum = errors.New("wire: IPv4 header checksum mismatch")
+	ErrIPv4BadLength   = errors.New("wire: IPv4 total length inconsistent with data")
+)
+
+// IPv4 is a decoded IPv4 header. It implements Layer, DecodingLayer and
+// SerializableLayer.
+type IPv4 struct {
+	// TOS is the full type-of-service octet: DSCP in the upper six bits,
+	// ECN in the lower two. Neutralizers preserve it verbatim (§3.4).
+	TOS      uint8
+	ID       uint16
+	Flags    uint8 // 3 bits: reserved, DF, MF
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Src, Dst netip.Addr
+
+	contents []byte
+	payload  []byte
+}
+
+// IPv4Flags bit values.
+const (
+	IPv4DontFragment  = 0b010
+	IPv4MoreFragments = 0b001
+)
+
+// DSCP returns the DiffServ codepoint (upper six TOS bits).
+func (ip *IPv4) DSCP() uint8 { return ip.TOS >> 2 }
+
+// SetDSCP sets the DiffServ codepoint, preserving ECN bits.
+func (ip *IPv4) SetDSCP(dscp uint8) { ip.TOS = dscp<<2 | ip.TOS&0b11 }
+
+// LayerType implements Layer.
+func (*IPv4) LayerType() LayerType { return LayerTypeIPv4 }
+
+// Contents implements Layer.
+func (ip *IPv4) Contents() []byte { return ip.contents }
+
+// Payload implements Layer.
+func (ip *IPv4) Payload() []byte { return ip.payload }
+
+// NextLayerType implements DecodingLayer.
+func (ip *IPv4) NextLayerType() LayerType {
+	switch ip.Protocol {
+	case ProtoUDP:
+		return LayerTypeUDP
+	case ProtoShim:
+		return LayerTypeShim
+	default:
+		return LayerTypePayload
+	}
+}
+
+// NetworkFlow returns the (src, dst) IPv4 flow.
+func (ip *IPv4) NetworkFlow() Flow {
+	return NewFlow(IPv4Endpoint(ip.Src), IPv4Endpoint(ip.Dst))
+}
+
+// DecodeFromBytes implements DecodingLayer. It verifies version, IHL,
+// total length and header checksum.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < IPv4HeaderLen {
+		return ErrIPv4TooShort
+	}
+	if data[0]>>4 != 4 {
+		return ErrIPv4BadVersion
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen {
+		return ErrIPv4BadIHL
+	}
+	if len(data) < ihl {
+		return ErrIPv4TooShort
+	}
+	totalLen := int(binary.BigEndian.Uint16(data[2:4]))
+	if totalLen < ihl || totalLen > len(data) {
+		return ErrIPv4BadLength
+	}
+	if Checksum(data[:ihl]) != 0 {
+		return ErrIPv4BadChecksum
+	}
+	ip.TOS = data[1]
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(ff >> 13)
+	ip.FragOff = ff & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Src = netip.AddrFrom4([4]byte(data[12:16]))
+	ip.Dst = netip.AddrFrom4([4]byte(data[16:20]))
+	ip.contents = data[:ihl]
+	ip.payload = data[ihl:totalLen]
+	return nil
+}
+
+// SerializeTo implements SerializableLayer. The buffer's current contents
+// become the IP payload; total length and checksum are computed here.
+func (ip *IPv4) SerializeTo(b *SerializeBuffer) error {
+	if !ip.Src.Is4() || !ip.Dst.Is4() {
+		return fmt.Errorf("wire: IPv4 requires 4-byte addresses (src=%v dst=%v)", ip.Src, ip.Dst)
+	}
+	payloadLen := b.Len()
+	hdr := b.PrependBytes(IPv4HeaderLen)
+	hdr[0] = 4<<4 | IPv4HeaderLen/4
+	hdr[1] = ip.TOS
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(IPv4HeaderLen+payloadLen))
+	binary.BigEndian.PutUint16(hdr[4:6], ip.ID)
+	binary.BigEndian.PutUint16(hdr[6:8], uint16(ip.Flags)<<13|ip.FragOff&0x1fff)
+	hdr[8] = ip.TTL
+	hdr[9] = ip.Protocol
+	hdr[10], hdr[11] = 0, 0
+	src, dst := ip.Src.As4(), ip.Dst.As4()
+	copy(hdr[12:16], src[:])
+	copy(hdr[16:20], dst[:])
+	binary.BigEndian.PutUint16(hdr[10:12], Checksum(hdr))
+	return nil
+}
+
+// Checksum computes the Internet checksum (RFC 1071) over data. A header
+// with a correct embedded checksum sums to zero.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for len(data) >= 2 {
+		sum += uint32(data[0])<<8 | uint32(data[1])
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		sum += uint32(data[0]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum>>16 + sum&0xffff
+	}
+	return ^uint16(sum)
+}
+
+// checksumAdd accumulates data into a running non-folded checksum sum.
+func checksumAdd(sum uint32, data []byte) uint32 {
+	for len(data) >= 2 {
+		sum += uint32(data[0])<<8 | uint32(data[1])
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		sum += uint32(data[0]) << 8
+	}
+	return sum
+}
+
+func checksumFold(sum uint32) uint16 {
+	for sum > 0xffff {
+		sum = sum>>16 + sum&0xffff
+	}
+	return ^uint16(sum)
+}
+
+// RewriteIPv4Addrs rewrites the src and/or dst address of a serialized
+// IPv4 packet in place and incrementally repairs the header checksum.
+// Nil addresses leave the corresponding field untouched. This is the
+// neutralizer's fast-path primitive: address substitution without
+// re-serializing the packet.
+func RewriteIPv4Addrs(pkt []byte, src, dst *netip.Addr) error {
+	if len(pkt) < IPv4HeaderLen || pkt[0]>>4 != 4 {
+		return ErrIPv4TooShort
+	}
+	ihl := int(pkt[0]&0x0f) * 4
+	if len(pkt) < ihl {
+		return ErrIPv4TooShort
+	}
+	if src != nil {
+		a := src.As4()
+		copy(pkt[12:16], a[:])
+	}
+	if dst != nil {
+		a := dst.As4()
+		copy(pkt[16:20], a[:])
+	}
+	pkt[10], pkt[11] = 0, 0
+	binary.BigEndian.PutUint16(pkt[10:12], Checksum(pkt[:ihl]))
+	return nil
+}
+
+// IPv4Addrs extracts the source and destination addresses from a
+// serialized IPv4 packet without full decoding.
+func IPv4Addrs(pkt []byte) (src, dst netip.Addr, err error) {
+	if len(pkt) < IPv4HeaderLen {
+		return netip.Addr{}, netip.Addr{}, ErrIPv4TooShort
+	}
+	return netip.AddrFrom4([4]byte(pkt[12:16])), netip.AddrFrom4([4]byte(pkt[16:20])), nil
+}
+
+// IPv4Proto extracts the protocol field from a serialized IPv4 packet.
+func IPv4Proto(pkt []byte) (uint8, error) {
+	if len(pkt) < IPv4HeaderLen {
+		return 0, ErrIPv4TooShort
+	}
+	return pkt[9], nil
+}
+
+// DecrementTTL decrements the TTL of a serialized IPv4 packet in place,
+// repairing the checksum. It reports false when the TTL is exhausted (the
+// packet must then be dropped).
+func DecrementTTL(pkt []byte) (alive bool, err error) {
+	if len(pkt) < IPv4HeaderLen {
+		return false, ErrIPv4TooShort
+	}
+	if pkt[8] <= 1 {
+		return false, nil
+	}
+	pkt[8]--
+	ihl := int(pkt[0]&0x0f) * 4
+	if len(pkt) < ihl {
+		return false, ErrIPv4TooShort
+	}
+	pkt[10], pkt[11] = 0, 0
+	binary.BigEndian.PutUint16(pkt[10:12], Checksum(pkt[:ihl]))
+	return true, nil
+}

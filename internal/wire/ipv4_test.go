@@ -1,0 +1,244 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func buildIPv4(t *testing.T, ip *IPv4, payload []byte) []byte {
+	t.Helper()
+	buf := NewSerializeBuffer(IPv4HeaderLen, len(payload))
+	buf.PushPayload(payload)
+	if err := ip.SerializeTo(buf); err != nil {
+		t.Fatalf("SerializeTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	in := &IPv4{
+		TOS:      0xb8, // EF DSCP
+		ID:       0x1234,
+		Flags:    IPv4DontFragment,
+		FragOff:  0,
+		TTL:      64,
+		Protocol: ProtoUDP,
+		Src:      addr("10.0.0.1"),
+		Dst:      addr("192.168.1.2"),
+	}
+	payload := []byte("hello, neutral world")
+	pkt := buildIPv4(t, in, payload)
+
+	if got, want := len(pkt), IPv4HeaderLen+len(payload); got != want {
+		t.Fatalf("packet length = %d, want %d", got, want)
+	}
+	var out IPv4
+	if err := out.DecodeFromBytes(pkt); err != nil {
+		t.Fatalf("DecodeFromBytes: %v", err)
+	}
+	if out.TOS != in.TOS || out.ID != in.ID || out.Flags != in.Flags ||
+		out.FragOff != in.FragOff || out.TTL != in.TTL || out.Protocol != in.Protocol {
+		t.Errorf("header fields mismatch: got %+v want %+v", out, in)
+	}
+	if out.Src != in.Src || out.Dst != in.Dst {
+		t.Errorf("addresses: got %v->%v want %v->%v", out.Src, out.Dst, in.Src, in.Dst)
+	}
+	if !bytes.Equal(out.Payload(), payload) {
+		t.Errorf("payload mismatch: got %q", out.Payload())
+	}
+}
+
+func TestIPv4RoundTripProperty(t *testing.T) {
+	f := func(tos uint8, id uint16, ttl uint8, proto uint8, srcRaw, dstRaw [4]byte, payload []byte) bool {
+		if ttl == 0 {
+			ttl = 1
+		}
+		in := &IPv4{
+			TOS: tos, ID: id, TTL: ttl, Protocol: proto,
+			Src: netip.AddrFrom4(srcRaw), Dst: netip.AddrFrom4(dstRaw),
+		}
+		buf := NewSerializeBuffer(IPv4HeaderLen, len(payload))
+		buf.PushPayload(payload)
+		if err := in.SerializeTo(buf); err != nil {
+			return false
+		}
+		var out IPv4
+		if err := out.DecodeFromBytes(buf.Bytes()); err != nil {
+			return false
+		}
+		return out.TOS == in.TOS && out.ID == in.ID && out.TTL == in.TTL &&
+			out.Protocol == in.Protocol && out.Src == in.Src && out.Dst == in.Dst &&
+			bytes.Equal(out.Payload(), payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIPv4ChecksumKnownVector(t *testing.T) {
+	// Classic example header from RFC 1071 discussions.
+	hdr := []byte{
+		0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00,
+		0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01,
+		0xc0, 0xa8, 0x00, 0xc7,
+	}
+	ck := Checksum(hdr)
+	if ck != 0xb861 {
+		t.Errorf("checksum = %#04x, want 0xb861", ck)
+	}
+	binary.BigEndian.PutUint16(hdr[10:12], ck)
+	if Checksum(hdr) != 0 {
+		t.Error("header with embedded checksum does not verify to zero")
+	}
+}
+
+func TestIPv4DecodeErrors(t *testing.T) {
+	valid := buildIPv4(t, &IPv4{TTL: 64, Protocol: ProtoUDP, Src: addr("1.2.3.4"), Dst: addr("5.6.7.8")}, []byte("x"))
+
+	tests := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"short", func(p []byte) []byte { return p[:10] }, ErrIPv4TooShort},
+		{"version", func(p []byte) []byte { p[0] = 0x65; return p }, ErrIPv4BadVersion},
+		{"ihl", func(p []byte) []byte { p[0] = 0x44; return p }, ErrIPv4BadIHL},
+		{"checksum", func(p []byte) []byte { p[8] ^= 0xff; return p }, ErrIPv4BadChecksum},
+		{"length", func(p []byte) []byte {
+			binary.BigEndian.PutUint16(p[2:4], uint16(len(p)+10))
+			// repair checksum so only the length check fires
+			p[10], p[11] = 0, 0
+			binary.BigEndian.PutUint16(p[10:12], Checksum(p[:IPv4HeaderLen]))
+			return p
+		}, ErrIPv4BadLength},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			pkt := tc.mutate(bytes.Clone(valid))
+			var out IPv4
+			if err := out.DecodeFromBytes(pkt); err != tc.wantErr {
+				t.Errorf("err = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRewriteIPv4Addrs(t *testing.T) {
+	pkt := buildIPv4(t, &IPv4{TTL: 64, Protocol: ProtoShim, Src: addr("10.0.0.1"), Dst: addr("10.0.0.2")}, []byte("payload"))
+	newSrc, newDst := addr("172.16.0.9"), addr("8.8.8.8")
+	if err := RewriteIPv4Addrs(pkt, &newSrc, &newDst); err != nil {
+		t.Fatalf("RewriteIPv4Addrs: %v", err)
+	}
+	var out IPv4
+	if err := out.DecodeFromBytes(pkt); err != nil {
+		t.Fatalf("decode after rewrite: %v (checksum must be repaired)", err)
+	}
+	if out.Src != newSrc || out.Dst != newDst {
+		t.Errorf("addresses after rewrite: %v->%v", out.Src, out.Dst)
+	}
+
+	// Partial rewrite: only dst.
+	other := addr("9.9.9.9")
+	if err := RewriteIPv4Addrs(pkt, nil, &other); err != nil {
+		t.Fatal(err)
+	}
+	var out2 IPv4
+	if err := out2.DecodeFromBytes(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if out2.Src != newSrc || out2.Dst != other {
+		t.Errorf("after partial rewrite: %v->%v", out2.Src, out2.Dst)
+	}
+}
+
+func TestRewritePreservesDSCP(t *testing.T) {
+	ip := &IPv4{TTL: 64, Protocol: ProtoShim, Src: addr("10.0.0.1"), Dst: addr("10.0.0.2")}
+	ip.SetDSCP(46) // EF
+	pkt := buildIPv4(t, ip, nil)
+	s := addr("1.1.1.1")
+	if err := RewriteIPv4Addrs(pkt, &s, nil); err != nil {
+		t.Fatal(err)
+	}
+	var out IPv4
+	if err := out.DecodeFromBytes(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if out.DSCP() != 46 {
+		t.Errorf("DSCP after rewrite = %d, want 46", out.DSCP())
+	}
+}
+
+func TestDecrementTTL(t *testing.T) {
+	pkt := buildIPv4(t, &IPv4{TTL: 2, Protocol: ProtoUDP, Src: addr("1.1.1.1"), Dst: addr("2.2.2.2")}, nil)
+	alive, err := DecrementTTL(pkt)
+	if err != nil || !alive {
+		t.Fatalf("first decrement: alive=%v err=%v", alive, err)
+	}
+	var out IPv4
+	if err := out.DecodeFromBytes(pkt); err != nil {
+		t.Fatalf("decode after TTL decrement: %v", err)
+	}
+	if out.TTL != 1 {
+		t.Errorf("TTL = %d, want 1", out.TTL)
+	}
+	alive, err = DecrementTTL(pkt)
+	if err != nil || alive {
+		t.Errorf("TTL-exhausted packet reported alive=%v err=%v", alive, err)
+	}
+}
+
+func TestDSCPAccessors(t *testing.T) {
+	var ip IPv4
+	ip.TOS = 0b000000_11 // ECN bits set
+	ip.SetDSCP(46)
+	if ip.DSCP() != 46 {
+		t.Errorf("DSCP = %d, want 46", ip.DSCP())
+	}
+	if ip.TOS&0b11 != 0b11 {
+		t.Error("SetDSCP clobbered ECN bits")
+	}
+}
+
+func TestIPv4AddrsAndProto(t *testing.T) {
+	pkt := buildIPv4(t, &IPv4{TTL: 9, Protocol: ProtoShim, Src: addr("10.1.2.3"), Dst: addr("10.4.5.6")}, nil)
+	src, dst, err := IPv4Addrs(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != addr("10.1.2.3") || dst != addr("10.4.5.6") {
+		t.Errorf("IPv4Addrs = %v, %v", src, dst)
+	}
+	proto, err := IPv4Proto(pkt)
+	if err != nil || proto != ProtoShim {
+		t.Errorf("IPv4Proto = %d, %v", proto, err)
+	}
+	if _, _, err := IPv4Addrs(pkt[:8]); err == nil {
+		t.Error("IPv4Addrs on short packet: want error")
+	}
+	if _, err := IPv4Proto(pkt[:8]); err == nil {
+		t.Error("IPv4Proto on short packet: want error")
+	}
+}
+
+func TestChecksumIncrementalMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		n := 1 + rng.Intn(64)
+		data := make([]byte, n)
+		rng.Read(data)
+		cut := rng.Intn(n)
+		full := Checksum(data)
+		split := checksumFold(checksumAdd(checksumAdd(0, data[:cut]), data[cut:]))
+		// Splitting is only equivalent on even boundaries, which is how the
+		// UDP pseudo-header (12 bytes) uses it.
+		if cut%2 == 0 && full != split {
+			t.Fatalf("split checksum mismatch at n=%d cut=%d: %#x vs %#x", n, cut, full, split)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoDecoder reports that the parser met a layer type it has no decoder
+// for; decoding stops there and the already-decoded layers remain valid,
+// mirroring gopacket's UnsupportedLayerType behaviour.
+type ErrNoDecoder struct {
+	LayerType LayerType
+}
+
+func (e ErrNoDecoder) Error() string {
+	return fmt.Sprintf("wire: no decoder registered for layer %v", e.LayerType)
+}
+
+// ErrEmptyPacket reports a zero-length packet.
+var ErrEmptyPacket = errors.New("wire: empty packet")
+
+// Parser decodes a known stack of layers into caller-owned DecodingLayer
+// values without allocation, following gopacket's DecodingLayerParser
+// idiom. It is not safe for concurrent use; create one per goroutine.
+type Parser struct {
+	first    LayerType
+	decoders map[LayerType]DecodingLayer
+}
+
+// NewParser builds a Parser that starts decoding at first and dispatches
+// to the given layers by their LayerType.
+func NewParser(first LayerType, layers ...DecodingLayer) *Parser {
+	p := &Parser{first: first, decoders: make(map[LayerType]DecodingLayer, len(layers))}
+	for _, l := range layers {
+		p.decoders[l.LayerType()] = l
+	}
+	return p
+}
+
+// Add registers an additional decoding layer.
+func (p *Parser) Add(l DecodingLayer) { p.decoders[l.LayerType()] = l }
+
+// DecodeLayers decodes data into the registered layers, appending each
+// decoded LayerType to *decoded (which is truncated first). If a layer in
+// the middle of the stack has no registered decoder, DecodeLayers returns
+// ErrNoDecoder but *decoded still lists everything successfully decoded.
+func (p *Parser) DecodeLayers(data []byte, decoded *[]LayerType) error {
+	*decoded = (*decoded)[:0]
+	if len(data) == 0 {
+		return ErrEmptyPacket
+	}
+	typ := p.first
+	for typ != 0 {
+		dec, ok := p.decoders[typ]
+		if !ok {
+			return ErrNoDecoder{LayerType: typ}
+		}
+		if err := dec.DecodeFromBytes(data); err != nil {
+			return fmt.Errorf("wire: decoding %v: %w", typ, err)
+		}
+		*decoded = append(*decoded, typ)
+		data = dec.Payload()
+		typ = dec.NextLayerType()
+		if len(data) == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// Packet is a fully decoded packet: an owning container of layers,
+// convenient where the allocation-free Parser is unnecessary.
+type Packet struct {
+	layers []Layer
+	data   []byte
+	err    error
+}
+
+// ParsePacket fully decodes data starting at the given layer type. Like
+// gopacket.NewPacket, it never fails outright: layers decoded before an
+// error remain accessible and the error is reported by ErrorLayer.
+func ParsePacket(data []byte, first LayerType) *Packet {
+	pkt := &Packet{data: data}
+	typ := first
+	rest := data
+	for typ != 0 && len(rest) > 0 {
+		var dl DecodingLayer
+		switch typ {
+		case LayerTypeIPv4:
+			dl = &IPv4{}
+		case LayerTypeUDP:
+			dl = &UDP{}
+		case LayerTypePayload:
+			dl = &Payload{}
+		default:
+			if newShimLayer != nil && typ == LayerTypeShim {
+				dl = newShimLayer()
+			} else {
+				pkt.err = ErrNoDecoder{LayerType: typ}
+				return pkt
+			}
+		}
+		if err := dl.DecodeFromBytes(rest); err != nil {
+			pkt.err = err
+			return pkt
+		}
+		pkt.layers = append(pkt.layers, dl)
+		rest = dl.Payload()
+		typ = dl.NextLayerType()
+	}
+	return pkt
+}
+
+// newShimLayer is installed by the shim package so ParsePacket can decode
+// neutralized packets without an import cycle.
+var newShimLayer func() DecodingLayer
+
+// RegisterShimDecoder installs the constructor ParsePacket uses for
+// LayerTypeShim. Intended for the shim package's init function.
+func RegisterShimDecoder(fn func() DecodingLayer) { newShimLayer = fn }
+
+// Layers returns all decoded layers.
+func (p *Packet) Layers() []Layer { return p.layers }
+
+// Layer returns the first layer of the given type, or nil.
+func (p *Packet) Layer(t LayerType) Layer {
+	for _, l := range p.layers {
+		if l.LayerType() == t {
+			return l
+		}
+	}
+	return nil
+}
+
+// ErrorLayer returns the decoding error, if any layer failed to decode.
+func (p *Packet) ErrorLayer() error { return p.err }
+
+// Data returns the raw bytes the packet was parsed from.
+func (p *Packet) Data() []byte { return p.data }
+
+// NetworkLayer returns the IPv4 layer, or nil.
+func (p *Packet) NetworkLayer() *IPv4 {
+	if l := p.Layer(LayerTypeIPv4); l != nil {
+		return l.(*IPv4)
+	}
+	return nil
+}
+
+// TransportLayer returns the UDP layer, or nil.
+func (p *Packet) TransportLayer() *UDP {
+	if l := p.Layer(LayerTypeUDP); l != nil {
+		return l.(*UDP)
+	}
+	return nil
+}
+
+// ApplicationPayload returns the innermost payload bytes, or nil.
+func (p *Packet) ApplicationPayload() []byte {
+	if len(p.layers) == 0 {
+		return nil
+	}
+	last := p.layers[len(p.layers)-1]
+	if pl, ok := last.(*Payload); ok {
+		return []byte(*pl)
+	}
+	return last.Payload()
+}

@@ -1,0 +1,231 @@
+package wire
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestEndpointIPv4(t *testing.T) {
+	a := addr("192.0.2.33")
+	e := IPv4Endpoint(a)
+	if e.Type() != EndpointIPv4 {
+		t.Errorf("type = %v", e.Type())
+	}
+	if e.Addr() != a {
+		t.Errorf("Addr() = %v, want %v", e.Addr(), a)
+	}
+	if e.Port() != 0 {
+		t.Errorf("Port() on IPv4 endpoint = %d, want 0", e.Port())
+	}
+	if e.String() != "192.0.2.33" {
+		t.Errorf("String() = %q", e.String())
+	}
+}
+
+func TestEndpointUDPPort(t *testing.T) {
+	e := UDPPortEndpoint(5060)
+	if e.Type() != EndpointUDPPort || e.Port() != 5060 {
+		t.Errorf("endpoint = %v", e)
+	}
+	if e.Addr().IsValid() {
+		t.Error("Addr() on port endpoint should be zero")
+	}
+}
+
+func TestEndpointComparable(t *testing.T) {
+	m := map[Endpoint]int{}
+	m[IPv4Endpoint(addr("1.2.3.4"))] = 1
+	m[IPv4Endpoint(addr("1.2.3.4"))] = 2
+	m[UDPPortEndpoint(80)] = 3
+	if len(m) != 2 {
+		t.Errorf("map size = %d, want 2 (equal endpoints must collide)", len(m))
+	}
+	if m[IPv4Endpoint(addr("1.2.3.4"))] != 2 {
+		t.Error("lookup by equal endpoint failed")
+	}
+}
+
+func TestFlowSymmetricHash(t *testing.T) {
+	f := func(a, b [4]byte) bool {
+		srcE := IPv4Endpoint(addrFrom4(a))
+		dstE := IPv4Endpoint(addrFrom4(b))
+		fwd := NewFlow(srcE, dstE)
+		rev := fwd.Reverse()
+		return fwd.FastHash() == rev.FastHash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlowEndpointsAccessors(t *testing.T) {
+	s, d := IPv4Endpoint(addr("10.0.0.1")), IPv4Endpoint(addr("10.0.0.2"))
+	fl := NewFlow(s, d)
+	gs, gd := fl.Endpoints()
+	if gs != s || gd != d || fl.Src() != s || fl.Dst() != d {
+		t.Error("flow accessors mismatch")
+	}
+	if fl.Reverse().Src() != d {
+		t.Error("Reverse src mismatch")
+	}
+	if fl.String() != "10.0.0.1->10.0.0.2" {
+		t.Errorf("String() = %q", fl.String())
+	}
+}
+
+func TestFlowHashDistinguishesFlows(t *testing.T) {
+	f1 := NewFlow(IPv4Endpoint(addr("10.0.0.1")), IPv4Endpoint(addr("10.0.0.2")))
+	f2 := NewFlow(IPv4Endpoint(addr("10.0.0.1")), IPv4Endpoint(addr("10.0.0.3")))
+	if f1.FastHash() == f2.FastHash() {
+		t.Error("distinct flows should (overwhelmingly) hash differently")
+	}
+}
+
+func TestSerializeBufferPrepend(t *testing.T) {
+	b := NewSerializeBuffer(8, 0)
+	b.PushPayload([]byte("xyz"))
+	copy(b.PrependBytes(2), "ab")
+	if got := string(b.Bytes()); got != "abxyz" {
+		t.Errorf("Bytes() = %q, want %q", got, "abxyz")
+	}
+	// Prepend beyond reserved headroom forces a front-grow.
+	copy(b.PrependBytes(10), "0123456789")
+	if got := string(b.Bytes()); got != "0123456789abxyz" {
+		t.Errorf("after grow: %q", got)
+	}
+}
+
+func TestSerializeBufferAppendAndClear(t *testing.T) {
+	b := NewSerializeBuffer(4, 4)
+	copy(b.AppendBytes(3), "end")
+	if got := string(b.Bytes()); got != "end" {
+		t.Errorf("Bytes() = %q", got)
+	}
+	b.Clear(4)
+	if b.Len() != 0 {
+		t.Errorf("Len after Clear = %d", b.Len())
+	}
+	b.PushPayload([]byte("pp"))
+	if got := string(b.Bytes()); got != "pp" {
+		t.Errorf("after Clear+Push: %q", got)
+	}
+}
+
+func TestSerializeBufferZeroValue(t *testing.T) {
+	var b SerializeBuffer
+	copy(b.PrependBytes(3), "abc")
+	if string(b.Bytes()) != "abc" {
+		t.Errorf("zero-value buffer: %q", b.Bytes())
+	}
+}
+
+func TestLayerTypeString(t *testing.T) {
+	if LayerTypeIPv4.String() != "IPv4" {
+		t.Errorf("IPv4 name = %q", LayerTypeIPv4)
+	}
+	if LayerType(0).String() == "IPv4" {
+		t.Error("zero layer type must not alias IPv4")
+	}
+	if LayerType(9999).String() != "LayerType(9999)" {
+		t.Errorf("out of range = %q", LayerType(9999))
+	}
+}
+
+func TestParserDecodeLayers(t *testing.T) {
+	src, dst := addr("10.0.0.1"), addr("10.0.0.2")
+	payload := []byte("data!")
+	buf := NewSerializeBuffer(28, len(payload))
+	buf.PushPayload(payload)
+	if err := SerializeLayers(buf,
+		&IPv4{TTL: 3, Protocol: ProtoUDP, Src: src, Dst: dst},
+		&UDP{SrcPort: 7, DstPort: 9, PseudoSrc: src, PseudoDst: dst},
+	); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		ip  IPv4
+		udp UDP
+		pl  Payload
+	)
+	p := NewParser(LayerTypeIPv4, &ip, &udp, &pl)
+	var decoded []LayerType
+	if err := p.DecodeLayers(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("DecodeLayers: %v", err)
+	}
+	want := []LayerType{LayerTypeIPv4, LayerTypeUDP, LayerTypePayload}
+	if len(decoded) != len(want) {
+		t.Fatalf("decoded = %v, want %v", decoded, want)
+	}
+	for i := range want {
+		if decoded[i] != want[i] {
+			t.Fatalf("decoded[%d] = %v, want %v", i, decoded[i], want[i])
+		}
+	}
+	if ip.Src != src || udp.SrcPort != 7 || !bytes.Equal(pl, payload) {
+		t.Error("parsed layer contents mismatch")
+	}
+}
+
+func TestParserNoDecoder(t *testing.T) {
+	src, dst := addr("10.0.0.1"), addr("10.0.0.2")
+	buf := NewSerializeBuffer(28, 2)
+	buf.PushPayload([]byte("zz"))
+	if err := SerializeLayers(buf,
+		&IPv4{TTL: 3, Protocol: ProtoUDP, Src: src, Dst: dst},
+		&UDP{SrcPort: 7, DstPort: 9},
+	); err != nil {
+		t.Fatal(err)
+	}
+	var ip IPv4
+	p := NewParser(LayerTypeIPv4, &ip)
+	var decoded []LayerType
+	err := p.DecodeLayers(buf.Bytes(), &decoded)
+	var nd ErrNoDecoder
+	if !asErrNoDecoder(err, &nd) || nd.LayerType != LayerTypeUDP {
+		t.Fatalf("err = %v, want ErrNoDecoder{UDP}", err)
+	}
+	if len(decoded) != 1 || decoded[0] != LayerTypeIPv4 {
+		t.Errorf("decoded = %v, want [IPv4] despite error", decoded)
+	}
+}
+
+func asErrNoDecoder(err error, target *ErrNoDecoder) bool {
+	nd, ok := err.(ErrNoDecoder)
+	if ok {
+		*target = nd
+	}
+	return ok
+}
+
+func TestParserEmptyPacket(t *testing.T) {
+	p := NewParser(LayerTypeIPv4, &IPv4{})
+	var decoded []LayerType
+	if err := p.DecodeLayers(nil, &decoded); err != ErrEmptyPacket {
+		t.Errorf("err = %v, want ErrEmptyPacket", err)
+	}
+}
+
+func TestParsePacketErrorLayer(t *testing.T) {
+	junk := []byte{0x45, 0x00} // truncated IPv4
+	pkt := ParsePacket(junk, LayerTypeIPv4)
+	if pkt.ErrorLayer() == nil {
+		t.Error("want decode error for truncated packet")
+	}
+	if pkt.NetworkLayer() != nil {
+		t.Error("no network layer should be present")
+	}
+	if !bytes.Equal(pkt.Data(), junk) {
+		t.Error("Data() must return original bytes")
+	}
+}
+
+func TestFastHashDeterminism(t *testing.T) {
+	e := IPv4Endpoint(addr("203.0.113.7"))
+	if e.FastHash() != e.FastHash() {
+		t.Error("FastHash must be deterministic")
+	}
+}
+
+func addrFrom4(b [4]byte) netip.Addr { return netip.AddrFrom4(b) }

@@ -1,0 +1,112 @@
+// Package netneutral is the public facade of the netneutral project: a
+// full implementation of the neutralizer design from "A Technical
+// Approach to Net Neutrality" (Yang, Tsudik, Liu — HotNets-V, 2006).
+//
+// The design prevents an ISP from discriminating against packets based on
+// content, application type, or non-customer addresses, while leaving
+// tiered (DiffServ) service intact. Its core is the neutralizer: a
+// stateless service at a supportive ISP's border that hides customer
+// addresses behind an anycast address, deriving every session key on the
+// fly as Ks = hash(KM, nonce, srcIP).
+//
+// This package re-exports the main entry points; the implementation
+// lives in the internal packages (see DESIGN.md for the full inventory):
+//
+//   - NewNeutralizer: the border service (internal/core)
+//   - NewKeySchedule: the shared master-key schedule (internal/crypto/keys)
+//   - NewHost: the end-host shim stack (internal/endhost)
+//   - NewSimulator: the discrete-event network emulator (internal/netem)
+//   - Experiments / ExperimentByID: the paper-reproduction harness (internal/eval)
+//
+// A minimal in-process conversation:
+//
+//	sched := netneutral.NewKeySchedule(root, time.Now(), time.Hour)
+//	neut, _ := netneutral.NewNeutralizer(netneutral.NeutralizerConfig{
+//	    Schedule:   sched,
+//	    Anycast:    netip.MustParseAddr("10.200.0.1"),
+//	    IsCustomer: func(a netip.Addr) bool { return custNet.Contains(a) },
+//	})
+//	outs, err := neut.Process(pkt) // stateless; run as many replicas as you like
+//
+// See examples/ for runnable end-to-end scenarios and cmd/neutbench for
+// the evaluation harness.
+package netneutral
+
+import (
+	"time"
+
+	"netneutral/internal/core"
+	"netneutral/internal/crypto/aesutil"
+	"netneutral/internal/crypto/keys"
+	"netneutral/internal/e2e"
+	"netneutral/internal/endhost"
+	"netneutral/internal/eval"
+	"netneutral/internal/netem"
+)
+
+// Neutralizer is the stateless border service (the paper's primary
+// contribution). See NeutralizerConfig for construction.
+type Neutralizer = core.Neutralizer
+
+// NeutralizerConfig configures a Neutralizer.
+type NeutralizerConfig = core.Config
+
+// Outgoing is a packet a Neutralizer asks its caller to transmit.
+type Outgoing = core.Outgoing
+
+// NewNeutralizer creates a neutralizer instance. All replicas of a domain
+// share the same KeySchedule, which is what makes the service anycastable
+// and fault-tolerant.
+func NewNeutralizer(cfg NeutralizerConfig) (*Neutralizer, error) { return core.New(cfg) }
+
+// KeySchedule derives per-epoch master keys KM from a root secret and
+// session keys Ks = hash(KM, nonce, srcIP).
+type KeySchedule = keys.Schedule
+
+// MasterKey is a 128-bit symmetric key.
+type MasterKey = aesutil.Key
+
+// NewKeySchedule creates a schedule anchored at start; epochLen <= 0
+// selects the paper's hourly rotation.
+func NewKeySchedule(root MasterKey, start time.Time, epochLen time.Duration) *KeySchedule {
+	return keys.NewSchedule(root, start, epochLen)
+}
+
+// Host is the end-host shim stack: key setup, hidden-destination data
+// packets, grant refresh, reverse-direction initiation.
+type Host = endhost.Host
+
+// HostConfig configures a Host.
+type HostConfig = endhost.Config
+
+// NewHost creates an end host.
+func NewHost(cfg HostConfig) (*Host, error) { return endhost.NewHost(cfg) }
+
+// Identity is a long-term end-to-end key pair, published via DNS
+// bootstrap records.
+type Identity = e2e.Identity
+
+// NewIdentity generates an identity (bits <= 0 selects the default
+// 1024-bit strength the paper suggests).
+func NewIdentity(bits int) (*Identity, error) { return e2e.NewIdentity(nil, bits) }
+
+// Simulator is the deterministic discrete-event network emulator used by
+// the experiments and examples.
+type Simulator = netem.Simulator
+
+// NewSimulator creates an emulator with a virtual clock starting at start
+// and a seeded PRNG.
+func NewSimulator(start time.Time, seed int64) *Simulator { return netem.NewSimulator(start, seed) }
+
+// Experiment is one registered paper-reproduction unit.
+type Experiment = eval.Experiment
+
+// ExperimentResult is an experiment's paper-vs-measured row set.
+type ExperimentResult = eval.Result
+
+// Experiments returns every registered experiment (E1-E4, F1-F2, A1-A8 —
+// see DESIGN.md §4 for the index).
+func Experiments() []Experiment { return eval.All() }
+
+// ExperimentByID looks up an experiment by its index id (e.g. "E3").
+func ExperimentByID(id string) (Experiment, bool) { return eval.ByID(id) }
