@@ -12,8 +12,10 @@ package netneutral_test
 
 import (
 	"crypto/rand"
+	"fmt"
 	"net/netip"
 	"testing"
+	"time"
 
 	"netneutral/internal/core"
 	"netneutral/internal/crypto/aesutil"
@@ -70,6 +72,106 @@ func BenchmarkReturnPath(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkDataPathScratch is the zero-allocation variant of
+// BenchmarkDataPath: same packets, same outputs, but processed through a
+// reusable Scratch the way a data-plane worker runs. Must report
+// 0 allocs/op.
+func BenchmarkDataPathScratch(b *testing.B) {
+	env := mustEnv(b, false, false)
+	s := core.NewScratch()
+	if _, err := env.Neut.ProcessScratch(s, env.DataPkt); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(env.DataPkt)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		if _, err := env.Neut.ProcessScratch(s, env.DataPkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// batchPoolEnv builds a pool and a mixed-source batch for the sharded
+// data-plane benchmarks.
+func batchPoolEnv(b *testing.B, workers, batchSize int) (*core.Pool, [][]byte) {
+	b.Helper()
+	env := mustEnv(b, false, false)
+	pkts, err := env.DataBatch(64, batchSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool, err := core.NewPool(core.PoolConfig{Workers: workers, Config: env.NeutralizerConfig()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the buffer rings and the epoch cipher cache so the timed
+	// region measures steady state.
+	if _, dropped := pool.ProcessBatch(pkts); dropped != 0 {
+		b.Fatalf("%d packets dropped in warmup", dropped)
+	}
+	return pool, pkts
+}
+
+// BenchmarkProcessBatch measures the sharded batch interface end to end.
+// One op is one 256-packet batch; steady state must report 0 allocs/op —
+// the acceptance bar for the zero-allocation data plane.
+func BenchmarkProcessBatch(b *testing.B) {
+	const batchSize = 256
+	b.Run(fmt.Sprintf("pkts=%d", batchSize), func(b *testing.B) {
+		pool, pkts := batchPoolEnv(b, 0, batchSize)
+		defer pool.Close()
+		b.SetBytes(int64(batchSize * len(pkts[0])))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, dropped := pool.ProcessBatch(pkts); dropped != 0 {
+				b.Fatalf("%d packets dropped", dropped)
+			}
+		}
+		b.StopTimer()
+		reportKpps(b, batchSize)
+	})
+}
+
+// BenchmarkDataPathParallel sweeps the worker count of the sharded pool:
+// the in-process version of the paper's anycast-replication scaling
+// argument. On a multi-core host throughput should grow near-linearly to
+// the core count; kpps is reported per sub-benchmark so
+// scripts/bench.sh can record the scaling curve (it annotates the
+// recorded numbers with the host's core count — on a single-core
+// machine the sweep is flat by construction).
+func BenchmarkDataPathParallel(b *testing.B) {
+	const batchSize = 256
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d/pkts=%d", workers, batchSize), func(b *testing.B) {
+			pool, pkts := batchPoolEnv(b, workers, batchSize)
+			defer pool.Close()
+			b.SetBytes(int64(batchSize * len(pkts[0])))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, dropped := pool.ProcessBatch(pkts); dropped != 0 {
+					b.Fatalf("%d packets dropped", dropped)
+				}
+			}
+			b.StopTimer()
+			reportKpps(b, batchSize)
+		})
+	}
+}
+
+// reportKpps converts ns/op over a batch into thousands of packets per
+// second, the unit the paper reports.
+func reportKpps(b *testing.B, pktsPerOp int) {
+	if b.Elapsed() <= 0 || b.N == 0 {
+		return
+	}
+	nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(float64(pktsPerOp)/nsPerOp*float64(time.Second.Nanoseconds())/1e3, "kpps")
 }
 
 // BenchmarkVanillaForward is E3's baseline: plain IP forwarding work on a

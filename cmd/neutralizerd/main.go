@@ -8,9 +8,16 @@
 // address of inbound packets) or explicitly with a one-byte control
 // frame: 0x00 ‖ IPv4(4).
 //
+// Data plane: because the neutralizer is stateless, the daemon scales by
+// running replicas of the same core. -workers N spawns N goroutines that
+// share the UDP socket, each processing packets through its own
+// zero-allocation scratch. -batch M (M > 1) switches to a
+// reader-plus-shard-pool pipeline: one goroutine drains up to M
+// datagrams per wakeup and pushes them through an N-replica core.Pool.
+//
 // Usage:
 //
-//	neutralizerd -listen :7777 -anycast 10.200.0.1 -customers 10.10.0.0/16
+//	neutralizerd -listen :7777 -anycast 10.200.0.1 -customers 10.10.0.0/16 -workers 4 -batch 64
 //
 // Flags configure the master-key root (hex; random if empty), the epoch
 // length, and the optional dynamic-address pool.
@@ -43,28 +50,50 @@ func main() {
 	epoch := flag.Duration("epoch", time.Hour, "master key epoch length")
 	dynPool := flag.String("dynpool", "", "optional dynamic-address pool prefix (enables §3.4 QoS remedy)")
 	statsEvery := flag.Duration("stats", 30*time.Second, "stats logging interval (0 disables)")
+	workers := flag.Int("workers", 1, "data-plane workers (socket readers, or pool shards with -batch)")
+	batch := flag.Int("batch", 1, "datagrams per pool batch (>1 enables the sharded batch pipeline)")
+	batchWait := flag.Duration("batchwait", 500*time.Microsecond, "max wait to fill a batch after the first datagram")
 	flag.Parse()
 
-	if err := run(*listen, *anycastFlag, *customers, *rootHex, *epoch, *dynPool, *statsEvery); err != nil {
+	if err := run(options{
+		listen: *listen, anycast: *anycastFlag, customers: *customers,
+		rootHex: *rootHex, epoch: *epoch, dynPool: *dynPool,
+		statsEvery: *statsEvery, workers: *workers, batch: *batch,
+		batchWait: *batchWait,
+	}); err != nil {
 		log.Fatalf("neutralizerd: %v", err)
 	}
 }
 
-func run(listen, anycastFlag, customers, rootHex string, epoch time.Duration, dynPool string, statsEvery time.Duration) error {
-	anycast, err := netip.ParseAddr(anycastFlag)
+type options struct {
+	listen, anycast, customers, rootHex, dynPool string
+	epoch, statsEvery, batchWait                 time.Duration
+	workers, batch                               int
+}
+
+func run(o options) error {
+	anycast, err := netip.ParseAddr(o.anycast)
 	if err != nil {
 		return fmt.Errorf("bad -anycast: %w", err)
 	}
 	var prefixes []netip.Prefix
-	for _, p := range strings.Split(customers, ",") {
+	for _, p := range strings.Split(o.customers, ",") {
 		pfx, err := netip.ParsePrefix(strings.TrimSpace(p))
 		if err != nil {
 			return fmt.Errorf("bad -customers entry %q: %w", p, err)
 		}
 		prefixes = append(prefixes, pfx)
 	}
+	if o.workers < 1 || o.workers > 1024 {
+		return fmt.Errorf("bad -workers %d", o.workers)
+	}
+	// Each batch slot owns a full-datagram (64 KiB) read buffer, so the
+	// cap keeps the upfront allocation to at most 64 MiB.
+	if o.batch < 1 || o.batch > 1024 {
+		return fmt.Errorf("bad -batch %d (1..1024)", o.batch)
+	}
 	var root netneutral.MasterKey
-	if rootHex == "" {
+	if o.rootHex == "" {
 		b := make([]byte, len(root))
 		if _, err := randRead(b); err != nil {
 			return err
@@ -72,7 +101,7 @@ func run(listen, anycastFlag, customers, rootHex string, epoch time.Duration, dy
 		copy(root[:], b)
 		log.Printf("generated master key root %s (replicas must share it)", hex.EncodeToString(root[:]))
 	} else {
-		b, err := hex.DecodeString(rootHex)
+		b, err := hex.DecodeString(o.rootHex)
 		if err != nil || len(b) != len(root) {
 			return fmt.Errorf("bad -root: want %d hex bytes", len(root))
 		}
@@ -80,7 +109,7 @@ func run(listen, anycastFlag, customers, rootHex string, epoch time.Duration, dy
 	}
 
 	cfg := netneutral.NeutralizerConfig{
-		Schedule: netneutral.NewKeySchedule(root, time.Now().Truncate(epoch), epoch),
+		Schedule: netneutral.NewKeySchedule(root, time.Now().Truncate(o.epoch), o.epoch),
 		Anycast:  anycast,
 		IsCustomer: func(a netip.Addr) bool {
 			for _, p := range prefixes {
@@ -91,34 +120,64 @@ func run(listen, anycastFlag, customers, rootHex string, epoch time.Duration, dy
 			return false
 		},
 	}
-	if dynPool != "" {
-		pfx, err := netip.ParsePrefix(dynPool)
+	if o.dynPool != "" {
+		pfx, err := netip.ParsePrefix(o.dynPool)
 		if err != nil {
 			return fmt.Errorf("bad -dynpool: %w", err)
 		}
 		cfg.DynAddrPool = pfx
 	}
-	neut, err := netneutral.NewNeutralizer(cfg)
+
+	pc, err := net.ListenPacket("udp", o.listen)
 	if err != nil {
 		return err
 	}
-
-	conn, err := net.ListenPacket("udp", listen)
-	if err != nil {
-		return err
+	conn, ok := pc.(*net.UDPConn)
+	if !ok {
+		pc.Close()
+		return fmt.Errorf("listener is %T, not *net.UDPConn", pc)
 	}
 	defer conn.Close()
-	log.Printf("neutralizer listening on %s, anycast %v, customers %v", conn.LocalAddr(), anycast, prefixes)
 
-	reg := newRegistry()
-	if statsEvery > 0 {
+	d := &daemon{conn: conn, reg: newRegistry(), opts: o}
+	mode := fmt.Sprintf("%d worker(s), per-packet", o.workers)
+	if o.batch > 1 {
+		mode = fmt.Sprintf("%d shard(s), batch=%d", o.workers, o.batch)
+	}
+	log.Printf("neutralizer listening on %s, anycast %v, customers %v (%s)",
+		conn.LocalAddr(), anycast, prefixes, mode)
+
+	var statsFn func() netneutral.NeutralizerStats
+	done := make(chan error, o.workers)
+	if o.batch > 1 {
+		pool, err := netneutral.NewNeutralizerPool(netneutral.NeutralizerPoolConfig{
+			Workers: o.workers, Config: cfg,
+		})
+		if err != nil {
+			return err
+		}
+		defer pool.Close()
+		statsFn = pool.Stats
+		go func() { done <- d.runBatched(pool) }()
+	} else {
+		neut, err := netneutral.NewNeutralizer(cfg)
+		if err != nil {
+			return err
+		}
+		statsFn = func() netneutral.NeutralizerStats { return neut.Stats().Snapshot() }
+		for i := 0; i < o.workers; i++ {
+			go func() { done <- d.runPerPacket(neut) }()
+		}
+	}
+
+	if o.statsEvery > 0 {
 		go func() {
-			for range time.Tick(statsEvery) {
-				s := neut.Stats()
+			for range time.Tick(o.statsEvery) {
+				s := statsFn()
 				log.Printf("stats: setups=%d data=%d return=%d grants=%d drops(epoch=%d,block=%d,cust=%d,malformed=%d) peers=%d",
-					s.KeySetups.Load(), s.DataForwarded.Load(), s.ReturnForwarded.Load(),
-					s.GrantsStamped.Load(), s.DropStaleEpoch.Load(), s.DropBadAddrBlock.Load(),
-					s.DropNotCustomer.Load(), s.DropMalformed.Load(), reg.len())
+					s.KeySetups, s.DataForwarded, s.ReturnForwarded,
+					s.GrantsStamped, s.DropStaleEpoch, s.DropBadAddrBlock,
+					s.DropNotCustomer, s.DropMalformed, d.reg.len())
 			}
 		}()
 	}
@@ -130,10 +189,54 @@ func run(listen, anycastFlag, customers, rootHex string, epoch time.Duration, dy
 		log.Print("shutting down")
 		conn.Close()
 	}()
+	return <-done
+}
 
+// daemon bundles the socket and the inner-address registry shared by all
+// transport loops.
+type daemon struct {
+	conn *net.UDPConn
+	reg  *registry
+	opts options
+}
+
+// ingest handles registration for one inbound datagram and reports
+// whether it was a control frame (fully consumed).
+func (d *daemon) ingest(pkt []byte, from netip.AddrPort) bool {
+	if len(pkt) >= 5 && pkt[0] == 0x00 {
+		d.reg.set(netip.AddrFrom4([4]byte(pkt[1:5])), from)
+		return true
+	}
+	if src, _, err := wire.IPv4Addrs(pkt); err == nil {
+		d.reg.set(src, from)
+	}
+	return false
+}
+
+// deliver tunnels one output packet to the peer registered for its inner
+// destination. Unknown destinations are dropped, as a border router
+// would drop a packet with no route.
+func (d *daemon) deliver(pkt []byte) {
+	_, dst, err := wire.IPv4Addrs(pkt)
+	if err != nil {
+		return
+	}
+	if peer, ok := d.reg.get(dst); ok {
+		if _, err := d.conn.WriteToUDPAddrPort(pkt, peer); err != nil && !isClosed(err) {
+			log.Printf("write to %v: %v", peer, err)
+		}
+	}
+}
+
+// runPerPacket is the -batch=1 loop: read, process through this worker's
+// scratch, transmit. Several of these run concurrently against the one
+// shared stateless Neutralizer; the scratch (and read buffer) are the
+// only per-worker state.
+func (d *daemon) runPerPacket(neut *netneutral.Neutralizer) error {
 	buf := make([]byte, 64<<10)
+	scratch := netneutral.NewScratch()
 	for {
-		n, from, err := conn.ReadFrom(buf)
+		n, from, err := d.conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			if isClosed(err) {
 				return nil
@@ -141,49 +244,102 @@ func run(listen, anycastFlag, customers, rootHex string, epoch time.Duration, dy
 			return err
 		}
 		pkt := buf[:n]
-		// Control frame: explicit registration.
-		if n >= 5 && pkt[0] == 0x00 {
-			a := netip.AddrFrom4([4]byte(pkt[1:5]))
-			reg.set(a, from)
+		if d.ingest(pkt, from) {
 			continue
 		}
-		// Learn the sender's inner address.
-		if src, _, err := wire.IPv4Addrs(pkt); err == nil {
-			reg.set(src, from)
-		}
-		outs, err := neut.Process(pkt)
+		scratch.Reset()
+		outs, err := neut.ProcessScratch(scratch, pkt)
 		if err != nil {
 			continue // counted in stats
 		}
 		for _, o := range outs {
-			_, dst, err := wire.IPv4Addrs(o.Pkt)
-			if err != nil {
-				continue
-			}
-			if peer, ok := reg.get(dst); ok {
-				if _, err := conn.WriteTo(o.Pkt, peer); err != nil && !isClosed(err) {
-					log.Printf("write to %v: %v", peer, err)
-				}
-			}
+			d.deliver(o.Pkt)
 		}
 	}
 }
 
-// registry maps inner IPv4 addresses to tunnel endpoints.
-type registry struct {
-	mu sync.RWMutex
-	m  map[netip.Addr]net.Addr
+// runBatched is the -batch>1 pipeline: one reader drains up to batch
+// datagrams per wakeup (waiting at most -batchwait after the first) and
+// pushes them through the shard pool in a single ProcessBatch call.
+func (d *daemon) runBatched(pool *netneutral.NeutralizerPool) error {
+	batch := d.opts.batch
+	bufs := make([][]byte, batch)
+	for i := range bufs {
+		bufs[i] = make([]byte, 64<<10)
+	}
+	pkts := make([][]byte, 0, batch)
+	for {
+		pkts = pkts[:0]
+		// Block for the first datagram of the batch.
+		if err := d.conn.SetReadDeadline(time.Time{}); err != nil {
+			if isClosed(err) {
+				return nil
+			}
+			return err
+		}
+		n, from, err := d.conn.ReadFromUDPAddrPort(bufs[0])
+		if err != nil {
+			if isClosed(err) {
+				return nil
+			}
+			return err
+		}
+		if !d.ingest(bufs[0][:n], from) {
+			pkts = append(pkts, bufs[0][:n])
+		}
+		// Opportunistically drain more, bounded by -batchwait.
+		if err := d.conn.SetReadDeadline(time.Now().Add(d.opts.batchWait)); err != nil {
+			if isClosed(err) {
+				return nil
+			}
+			return err
+		}
+		for len(pkts) < batch {
+			b := bufs[len(pkts)]
+			n, from, err := d.conn.ReadFromUDPAddrPort(b)
+			if err != nil {
+				if isClosed(err) {
+					return nil
+				}
+				break // deadline: ship what we have
+			}
+			if !d.ingest(b[:n], from) {
+				pkts = append(pkts, b[:n])
+			}
+		}
+		if len(pkts) == 0 {
+			continue
+		}
+		outs, _ := pool.ProcessBatch(pkts)
+		for _, o := range outs {
+			d.deliver(o.Pkt)
+		}
+	}
 }
 
-func newRegistry() *registry { return &registry{m: make(map[netip.Addr]net.Addr)} }
+// registry maps inner IPv4 addresses to tunnel endpoints. AddrPort
+// values are comparable, so the hot path can check for a no-op update
+// under the read lock and skip the write lock entirely.
+type registry struct {
+	mu sync.RWMutex
+	m  map[netip.Addr]netip.AddrPort
+}
 
-func (r *registry) set(a netip.Addr, peer net.Addr) {
+func newRegistry() *registry { return &registry{m: make(map[netip.Addr]netip.AddrPort)} }
+
+func (r *registry) set(a netip.Addr, peer netip.AddrPort) {
+	r.mu.RLock()
+	cur, ok := r.m[a]
+	r.mu.RUnlock()
+	if ok && cur == peer {
+		return
+	}
 	r.mu.Lock()
 	r.m[a] = peer
 	r.mu.Unlock()
 }
 
-func (r *registry) get(a netip.Addr) (net.Addr, bool) {
+func (r *registry) get(a netip.Addr) (netip.AddrPort, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	p, ok := r.m[a]

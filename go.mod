@@ -1,0 +1,3 @@
+module netneutral
+
+go 1.21

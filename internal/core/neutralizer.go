@@ -28,7 +28,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"netneutral/internal/crypto/aesutil"
 	"netneutral/internal/crypto/keys"
 	"netneutral/internal/crypto/lightrsa"
 	"netneutral/internal/shim"
@@ -112,12 +111,73 @@ type Stats struct {
 	DynAddrsAllocated atomic.Uint64
 }
 
+// StatsSnapshot is a point-in-time copy of a Stats counter block, in
+// plain uint64 form so snapshots from many replicas can be merged.
+type StatsSnapshot struct {
+	KeySetups         uint64
+	KeySetupsOffload  uint64
+	AltSetups         uint64
+	DataForwarded     uint64
+	ReturnForwarded   uint64
+	GrantsStamped     uint64
+	KeyFetches        uint64
+	DropStaleEpoch    uint64
+	DropBadAddrBlock  uint64
+	DropNotCustomer   uint64
+	DropMalformed     uint64
+	DynAddrsAllocated uint64
+}
+
+// Snapshot atomically loads every counter.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		KeySetups:         s.KeySetups.Load(),
+		KeySetupsOffload:  s.KeySetupsOffload.Load(),
+		AltSetups:         s.AltSetups.Load(),
+		DataForwarded:     s.DataForwarded.Load(),
+		ReturnForwarded:   s.ReturnForwarded.Load(),
+		GrantsStamped:     s.GrantsStamped.Load(),
+		KeyFetches:        s.KeyFetches.Load(),
+		DropStaleEpoch:    s.DropStaleEpoch.Load(),
+		DropBadAddrBlock:  s.DropBadAddrBlock.Load(),
+		DropNotCustomer:   s.DropNotCustomer.Load(),
+		DropMalformed:     s.DropMalformed.Load(),
+		DynAddrsAllocated: s.DynAddrsAllocated.Load(),
+	}
+}
+
+// Merge returns the counter-wise sum of two snapshots (for aggregating
+// the replicas of a Pool, or of an anycast deployment).
+func (s StatsSnapshot) Merge(o StatsSnapshot) StatsSnapshot {
+	s.KeySetups += o.KeySetups
+	s.KeySetupsOffload += o.KeySetupsOffload
+	s.AltSetups += o.AltSetups
+	s.DataForwarded += o.DataForwarded
+	s.ReturnForwarded += o.ReturnForwarded
+	s.GrantsStamped += o.GrantsStamped
+	s.KeyFetches += o.KeyFetches
+	s.DropStaleEpoch += o.DropStaleEpoch
+	s.DropBadAddrBlock += o.DropBadAddrBlock
+	s.DropNotCustomer += o.DropNotCustomer
+	s.DropMalformed += o.DropMalformed
+	s.DynAddrsAllocated += o.DynAddrsAllocated
+	return s
+}
+
+// Dropped is the total of all drop counters.
+func (s StatsSnapshot) Dropped() uint64 {
+	return s.DropStaleEpoch + s.DropBadAddrBlock + s.DropNotCustomer + s.DropMalformed
+}
+
 // Neutralizer processes shim packets at an ISP border. Safe for
 // concurrent use: the hot path reads only immutable configuration; the
-// optional dynamic-address table has its own lock.
+// optional dynamic-address table has its own lock. When one Neutralizer
+// is shared across goroutines, Config.Rand must also be safe for
+// concurrent use (crypto/rand.Reader, the default, is).
 type Neutralizer struct {
-	cfg   Config
-	stats Stats
+	cfg     Config
+	stats   Stats
+	scratch sync.Pool // *Scratch, for the compatibility Process path
 
 	dynMu   sync.Mutex
 	dynFwd  map[dynFlowKey]netip.Addr // (customer, peer) -> dynamic addr
@@ -148,11 +208,13 @@ func New(cfg Config) (*Neutralizer, error) {
 	if cfg.Rand == nil {
 		cfg.Rand = rand.Reader
 	}
-	return &Neutralizer{
+	n := &Neutralizer{
 		cfg:    cfg,
 		dynFwd: make(map[dynFlowKey]netip.Addr),
 		dynRev: make(map[netip.Addr]dynFlowKey),
-	}, nil
+	}
+	n.scratch.New = func() any { return NewScratch() }
+	return n, nil
 }
 
 // Stats returns the counter block.
@@ -170,54 +232,45 @@ type Outgoing struct {
 // neutralizer and returns the packets to emit. Non-shim packets yield
 // ErrNotShim (the caller forwards them normally — the neutralizer service
 // is optional, §3.4).
+//
+// Returned packets are freshly allocated and caller-owned. High-rate
+// callers should use ProcessScratch (one scratch per goroutine) or a
+// Pool, which recycle buffers and run the data path without allocating.
 func (n *Neutralizer) Process(pkt []byte) ([]Outgoing, error) {
-	var ip wire.IPv4
-	if err := ip.DecodeFromBytes(pkt); err != nil {
-		n.stats.DropMalformed.Add(1)
-		return nil, fmt.Errorf("core: %w", err)
+	s := n.scratch.Get().(*Scratch)
+	s.Reset()
+	outs, err := n.ProcessScratch(s, pkt)
+	if err != nil {
+		n.scratch.Put(s)
+		return nil, err
 	}
-	if ip.Protocol != wire.ProtoShim {
-		return nil, ErrNotShim
+	res := make([]Outgoing, len(outs))
+	for i, o := range outs {
+		res[i] = Outgoing{Pkt: append([]byte(nil), o.Pkt...)}
 	}
-	var sh shim.Header
-	if err := sh.DecodeFromBytes(ip.Payload()); err != nil {
-		n.stats.DropMalformed.Add(1)
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	switch sh.Type {
-	case shim.TypeKeySetupRequest:
-		return n.processKeySetup(&ip, &sh)
-	case shim.TypeData:
-		return n.processData(&ip, &sh)
-	case shim.TypeReturn:
-		return n.processReturn(&ip, &sh)
-	case shim.TypeKeyFetchRequest:
-		return n.processKeyFetch(&ip, &sh)
-	case shim.TypeAltData:
-		return n.processAltData(&ip, &sh)
-	default:
-		return nil, ErrUnhandledType
-	}
+	n.scratch.Put(s)
+	return res, nil
 }
 
 // processKeySetup implements Figure 2(a): derive (nonce, Ks) for the
 // source, RSA-encrypt them under the source's one-time public key, and
 // reply — or delegate the encryption to a customer helper.
-func (n *Neutralizer) processKeySetup(ip *wire.IPv4, sh *shim.Header) ([]Outgoing, error) {
+func (n *Neutralizer) processKeySetup(s *Scratch, ip *wire.IPv4, sh *shim.Header) error {
 	pub, _, err := lightrsa.UnmarshalPublicKey(sh.PublicKey)
 	if err != nil {
 		n.stats.DropMalformed.Add(1)
-		return nil, fmt.Errorf("%w: %v", ErrBadSetup, err)
+		return fmt.Errorf("%w: %v", ErrBadSetup, err)
 	}
 	now := n.cfg.Clock()
 	nonce, err := keys.NewNonce(n.cfg.Rand)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	ks, epoch, err := n.cfg.Schedule.SessionKeyAt(now, nonce, ip.Src)
+	epoch := n.cfg.Schedule.EpochAt(now)
+	ks, err := n.cfg.Schedule.SessionKeyInto(&s.kw, epoch, nonce, ip.Src)
 	if err != nil {
 		n.stats.DropMalformed.Add(1)
-		return nil, fmt.Errorf("%w: %v", ErrBadSetup, err)
+		return fmt.Errorf("%w: %v", ErrBadSetup, err)
 	}
 
 	if helper, ok := n.cfg.Offload.pick(); ok {
@@ -225,60 +278,62 @@ func (n *Neutralizer) processKeySetup(ip *wire.IPv4, sh *shim.Header) ([]Outgoin
 		// forward it to a willing customer, which performs the RSA
 		// encryption and answers the source itself. The stamped grant
 		// travels only inside the friendly domain.
-		out := &shim.Header{
+		s.out = shim.Header{
 			Type:      shim.TypeKeySetupRequest,
 			Flags:     sh.Flags | shim.FlagOffloaded,
 			Epoch:     epoch,
 			PublicKey: sh.PublicKey,
 			Grant:     shim.Grant{Nonce: nonce, Key: ks},
 		}
-		pktOut, err := buildShimPacket(ip.Src, helper, ip.TOS, out, nil)
-		if err != nil {
-			return nil, err
+		if err := s.emit(ip.Src, helper, ip.TOS, &s.out, nil); err != nil {
+			return err
 		}
 		n.stats.KeySetupsOffload.Add(1)
-		return []Outgoing{{Pkt: pktOut}}, nil
+		return nil
 	}
 
 	ct, err := pub.Encrypt(n.cfg.Rand, shim.EncodeSetupPlaintext(nonce, ks))
 	if err != nil {
 		n.stats.DropMalformed.Add(1)
-		return nil, fmt.Errorf("%w: %v", ErrBadSetup, err)
+		return fmt.Errorf("%w: %v", ErrBadSetup, err)
 	}
-	resp := &shim.Header{Type: shim.TypeKeySetupResponse, Epoch: epoch, Ciphertext: ct}
-	pktOut, err := buildShimPacket(n.cfg.Anycast, ip.Src, ip.TOS, resp, nil)
-	if err != nil {
-		return nil, err
+	s.out = shim.Header{Type: shim.TypeKeySetupResponse, Epoch: epoch, Ciphertext: ct}
+	if err := s.emit(n.cfg.Anycast, ip.Src, ip.TOS, &s.out, nil); err != nil {
+		return err
 	}
 	n.stats.KeySetups.Add(1)
-	return []Outgoing{{Pkt: pktOut}}, nil
+	return nil
 }
 
 // processData implements the forward path (Figure 2(b), packets 3→4):
 // recompute Ks from the packet alone, decrypt the hidden destination,
 // verify it is a customer, and forward with the shim rewritten — stamping
-// a fresh key grant if requested.
-func (n *Neutralizer) processData(ip *wire.IPv4, sh *shim.Header) ([]Outgoing, error) {
+// a fresh key grant if requested. Zero allocations on the success path
+// (absent a grant request): the session key is derived under the cached
+// epoch cipher and the address block decrypted with the scratch's
+// re-keyable AES schedule.
+func (n *Neutralizer) processData(s *Scratch, ip *wire.IPv4, sh *shim.Header) error {
 	now := n.cfg.Clock()
 	if !n.cfg.Schedule.Acceptable(sh.Epoch, now) {
 		n.stats.DropStaleEpoch.Add(1)
-		return nil, ErrStaleEpoch
+		return ErrStaleEpoch
 	}
-	ks, err := n.cfg.Schedule.SessionKey(sh.Epoch, sh.Nonce, ip.Src)
+	ks, err := n.cfg.Schedule.SessionKeyInto(&s.kw, sh.Epoch, sh.Nonce, ip.Src)
 	if err != nil {
 		n.stats.DropMalformed.Add(1)
-		return nil, err
+		return err
 	}
-	dst, _, err := aesutil.DecryptAddr(ks, sh.HiddenAddr)
-	if err != nil {
+	s.ek.Expand(ks)
+	dst, _, ok := s.ek.DecryptAddrX(sh.HiddenAddr)
+	if !ok {
 		n.stats.DropBadAddrBlock.Add(1)
-		return nil, ErrBadAddrBlock
+		return ErrBadAddrBlock
 	}
 	if !n.cfg.IsCustomer(dst) {
 		n.stats.DropNotCustomer.Add(1)
-		return nil, ErrNotCustomer
+		return ErrNotCustomer
 	}
-	out := &shim.Header{
+	s.out = shim.Header{
 		Type:       shim.TypeDelivered,
 		InnerProto: sh.InnerProto,
 		Epoch:      sh.Epoch,
@@ -291,54 +346,54 @@ func (n *Neutralizer) processData(ip *wire.IPv4, sh *shim.Header) ([]Outgoing, e
 		// encrypted and the source retires the short-RSA-protected key.
 		gNonce, err := keys.NewNonce(n.cfg.Rand)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		gKey, gEpoch, err := n.cfg.Schedule.SessionKeyAt(now, gNonce, ip.Src)
+		gEpoch := n.cfg.Schedule.EpochAt(now)
+		gKey, err := n.cfg.Schedule.SessionKeyInto(&s.kw, gEpoch, gNonce, ip.Src)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.Flags |= shim.FlagGrant
-		out.Epoch = gEpoch
-		out.Grant = shim.Grant{Nonce: gNonce, Key: gKey}
+		s.out.Flags |= shim.FlagGrant
+		s.out.Epoch = gEpoch
+		s.out.Grant = shim.Grant{Nonce: gNonce, Key: gKey}
 		n.stats.GrantsStamped.Add(1)
 	}
-	pktOut, err := buildShimPacket(ip.Src, dst, ip.TOS, out, sh.Payload())
-	if err != nil {
-		return nil, err
+	if err := s.emit(ip.Src, dst, ip.TOS, &s.out, sh.Payload()); err != nil {
+		return err
 	}
 	n.stats.DataForwarded.Add(1)
-	return []Outgoing{{Pkt: pktOut}}, nil
+	return nil
 }
 
 // processReturn implements the return path (Figure 2(b), packets 5→6):
 // encrypt the customer's address under Ks (recomputed from the initiator
 // address carried in the shim) and substitute the anycast address — or a
 // per-flow dynamic address, or nothing, per the QoS flags.
-func (n *Neutralizer) processReturn(ip *wire.IPv4, sh *shim.Header) ([]Outgoing, error) {
+func (n *Neutralizer) processReturn(s *Scratch, ip *wire.IPv4, sh *shim.Header) error {
 	if !n.cfg.IsCustomer(ip.Src) {
 		n.stats.DropNotCustomer.Add(1)
-		return nil, ErrNotFromCustomer
+		return ErrNotFromCustomer
 	}
 	now := n.cfg.Clock()
 	if !n.cfg.Schedule.Acceptable(sh.Epoch, now) {
 		n.stats.DropStaleEpoch.Add(1)
-		return nil, ErrStaleEpoch
+		return ErrStaleEpoch
 	}
 	initiator := sh.ClearAddr
-	ks, err := n.cfg.Schedule.SessionKey(sh.Epoch, sh.Nonce, initiator)
+	ks, err := n.cfg.Schedule.SessionKeyInto(&s.kw, sh.Epoch, sh.Nonce, initiator)
 	if err != nil {
 		n.stats.DropMalformed.Add(1)
-		return nil, err
+		return err
 	}
-	var salt [8]byte
-	if _, err := io.ReadFull(n.cfg.Rand, salt[:]); err != nil {
-		return nil, fmt.Errorf("core: reading salt: %w", err)
+	if _, err := io.ReadFull(n.cfg.Rand, s.salt[:]); err != nil {
+		return fmt.Errorf("core: reading salt: %w", err)
 	}
-	hidden, err := aesutil.EncryptAddr(ks, ip.Src, salt)
-	if err != nil {
-		return nil, err
+	s.ek.Expand(ks)
+	hidden, ok := s.ek.EncryptAddrX(ip.Src, s.salt)
+	if !ok {
+		return fmt.Errorf("aesutil: address %v is not IPv4", ip.Src)
 	}
-	out := &shim.Header{
+	s.out = shim.Header{
 		Type:       shim.TypeReturnDelivered,
 		InnerProto: sh.InnerProto,
 		Epoch:      sh.Epoch,
@@ -354,49 +409,48 @@ func (n *Neutralizer) processReturn(ip *wire.IPv4, sh *shim.Header) ([]Outgoing,
 	case sh.Flags&shim.FlagDynamicAddr != 0:
 		a, err := n.dynAddrFor(ip.Src, initiator)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		visibleSrc = a
 	}
-	pktOut, err := buildShimPacket(visibleSrc, initiator, ip.TOS, out, sh.Payload())
-	if err != nil {
-		return nil, err
+	if err := s.emit(visibleSrc, initiator, ip.TOS, &s.out, sh.Payload()); err != nil {
+		return err
 	}
 	n.stats.ReturnForwarded.Add(1)
-	return []Outgoing{{Pkt: pktOut}}, nil
+	return nil
 }
 
 // processKeyFetch implements §3.3: a customer initiating a connection to
 // an outside destination requests (nonce, Ks) in plaintext — the exchange
 // never leaves the friendly domain.
-func (n *Neutralizer) processKeyFetch(ip *wire.IPv4, sh *shim.Header) ([]Outgoing, error) {
+func (n *Neutralizer) processKeyFetch(s *Scratch, ip *wire.IPv4, sh *shim.Header) error {
 	if !n.cfg.IsCustomer(ip.Src) {
 		n.stats.DropNotCustomer.Add(1)
-		return nil, ErrNotFromCustomer
+		return ErrNotFromCustomer
 	}
 	peer := sh.ClearAddr
 	now := n.cfg.Clock()
 	nonce, err := keys.NewNonce(n.cfg.Rand)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	ks, epoch, err := n.cfg.Schedule.SessionKeyAt(now, nonce, peer)
+	epoch := n.cfg.Schedule.EpochAt(now)
+	ks, err := n.cfg.Schedule.SessionKeyInto(&s.kw, epoch, nonce, peer)
 	if err != nil {
 		n.stats.DropMalformed.Add(1)
-		return nil, err
+		return err
 	}
-	resp := &shim.Header{
+	s.out = shim.Header{
 		Type:  shim.TypeKeyFetchResponse,
 		Epoch: epoch,
 		Nonce: nonce,
 		Grant: shim.Grant{Nonce: nonce, Key: ks},
 	}
-	pktOut, err := buildShimPacket(n.cfg.Anycast, ip.Src, ip.TOS, resp, nil)
-	if err != nil {
-		return nil, err
+	if err := s.emit(n.cfg.Anycast, ip.Src, ip.TOS, &s.out, nil); err != nil {
+		return err
 	}
 	n.stats.KeyFetches.Add(1)
-	return []Outgoing{{Pkt: pktOut}}, nil
+	return nil
 }
 
 // processAltData implements the §3.2 alternative the paper rejected: the
@@ -404,33 +458,32 @@ func (n *Neutralizer) processKeyFetch(ip *wire.IPv4, sh *shim.Header) ([]Outgoin
 // public key, saving one RTT but costing the neutralizer a private-key
 // decryption per setup that cannot be offloaded. Kept for the A1
 // ablation benchmark.
-func (n *Neutralizer) processAltData(ip *wire.IPv4, sh *shim.Header) ([]Outgoing, error) {
+func (n *Neutralizer) processAltData(s *Scratch, ip *wire.IPv4, sh *shim.Header) error {
 	if n.cfg.AltIdentity == nil {
-		return nil, ErrNoAltIdentity
+		return ErrNoAltIdentity
 	}
 	pt, err := n.cfg.AltIdentity.Decrypt(sh.Ciphertext)
 	if err != nil || len(pt) < 4 {
 		n.stats.DropBadAddrBlock.Add(1)
-		return nil, ErrBadAddrBlock
+		return ErrBadAddrBlock
 	}
 	dst := netip.AddrFrom4([4]byte(pt[:4]))
 	if !n.cfg.IsCustomer(dst) {
 		n.stats.DropNotCustomer.Add(1)
-		return nil, ErrNotCustomer
+		return ErrNotCustomer
 	}
-	out := &shim.Header{
+	s.out = shim.Header{
 		Type:       shim.TypeDelivered,
 		InnerProto: sh.InnerProto,
 		Epoch:      sh.Epoch,
 		Nonce:      sh.Nonce,
 		ClearAddr:  n.cfg.Anycast,
 	}
-	pktOut, err := buildShimPacket(ip.Src, dst, ip.TOS, out, sh.Payload())
-	if err != nil {
-		return nil, err
+	if err := s.emit(ip.Src, dst, ip.TOS, &s.out, sh.Payload()); err != nil {
+		return err
 	}
 	n.stats.AltSetups.Add(1)
-	return []Outgoing{{Pkt: pktOut}}, nil
+	return nil
 }
 
 // dynAddrFor returns the stable dynamic address for a (customer, peer)

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+
+	"netneutral/internal/crypto/aesutil"
+	"netneutral/internal/crypto/keys"
+	"netneutral/internal/shim"
+	"netneutral/internal/wire"
+)
+
+// shimHeadroom is the default space reserved in front of a serialize
+// buffer: the IP header, the shim header, and a typical shim body. emit
+// reserves the exact encoded size when a message (e.g. an RSA key-setup
+// blob) needs more, so any one buffer grows at most once per high-water
+// mark and keeps its capacity across reuse.
+const shimHeadroom = wire.IPv4HeaderLen + shim.HeaderLen + 64
+
+// Scratch holds the per-worker reusable state of the zero-allocation
+// processing path: decoded-layer structs, the session-key derivation and
+// AES working state, and a ring of output packet buffers. A Scratch is
+// NOT safe for concurrent use; give each goroutine its own (the
+// neutralizer itself is stateless and freely shared — that is the whole
+// point of the design).
+type Scratch struct {
+	kw   keys.Work
+	ek   aesutil.ExpandedKey
+	salt [8]byte
+
+	ip  wire.IPv4
+	sh  shim.Header
+	out shim.Header
+
+	bufs []*wire.SerializeBuffer
+	nbuf int
+	outs []Outgoing
+}
+
+// NewScratch returns an empty scratch. Buffers are grown on demand and
+// retained, so steady-state processing performs no allocation.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Reset recycles every output buffer. Outgoing values returned by
+// ProcessScratch calls since the previous Reset become invalid.
+func (s *Scratch) Reset() {
+	s.nbuf = 0
+	s.outs = s.outs[:0]
+}
+
+// nextBuf returns a serialize buffer from the ring cleared to the given
+// headroom, growing the ring on first use at each depth.
+func (s *Scratch) nextBuf(headroom int) *wire.SerializeBuffer {
+	if s.nbuf == len(s.bufs) {
+		s.bufs = append(s.bufs, wire.NewSerializeBuffer(shimHeadroom, 128))
+	}
+	b := s.bufs[s.nbuf]
+	s.nbuf++
+	b.Clear(headroom)
+	return b
+}
+
+// emit serializes IP(src→dst, ToS preserved) | shim | payload into the
+// next ring buffer and appends it to the scratch's outputs. Preserving
+// the ToS octet verbatim is the §3.4 DiffServ guarantee.
+func (s *Scratch) emit(src, dst netip.Addr, tos uint8, sh *shim.Header, payload []byte) error {
+	buf := s.nextBuf(max(shimHeadroom, wire.IPv4HeaderLen+sh.EncodedLen()))
+	buf.PushPayload(payload)
+	if err := sh.SerializeTo(buf); err != nil {
+		s.nbuf-- // buffer unused
+		return err
+	}
+	ip := wire.IPv4{TOS: tos, TTL: wire.MaxTTL, Protocol: wire.ProtoShim, Src: src, Dst: dst}
+	if err := ip.SerializeTo(buf); err != nil {
+		s.nbuf--
+		return err
+	}
+	s.outs = append(s.outs, Outgoing{Pkt: buf.Bytes()})
+	return nil
+}
+
+// ProcessScratch is Process with caller-owned working state: the
+// data-plane paths (TypeData, TypeReturn) run with zero heap allocations
+// per packet. Returned Outgoing values alias scratch-owned buffers and
+// remain valid only until the scratch's next Reset; callers that need the
+// packets longer must copy them (Process does exactly that).
+//
+// Outputs accumulate in the scratch between Resets, so a batch loop can
+// Reset once, process many packets, and transmit all outputs together.
+// The returned slice covers only this call's outputs.
+func (n *Neutralizer) ProcessScratch(s *Scratch, pkt []byte) ([]Outgoing, error) {
+	start := len(s.outs)
+	if err := s.ip.DecodeFromBytes(pkt); err != nil {
+		n.stats.DropMalformed.Add(1)
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if s.ip.Protocol != wire.ProtoShim {
+		return nil, ErrNotShim
+	}
+	if err := s.sh.DecodeFromBytes(s.ip.Payload()); err != nil {
+		n.stats.DropMalformed.Add(1)
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	var err error
+	switch s.sh.Type {
+	case shim.TypeKeySetupRequest:
+		err = n.processKeySetup(s, &s.ip, &s.sh)
+	case shim.TypeData:
+		err = n.processData(s, &s.ip, &s.sh)
+	case shim.TypeReturn:
+		err = n.processReturn(s, &s.ip, &s.sh)
+	case shim.TypeKeyFetchRequest:
+		err = n.processKeyFetch(s, &s.ip, &s.sh)
+	case shim.TypeAltData:
+		err = n.processAltData(s, &s.ip, &s.sh)
+	default:
+		err = ErrUnhandledType
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s.outs[start:], nil
+}

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"netneutral/internal/crypto/aesutil"
+	"netneutral/internal/crypto/keys"
+	"netneutral/internal/shim"
+	"netneutral/internal/wire"
+)
+
+// concConfig is the shared-replica configuration for the concurrency
+// tests: the default crypto/rand entropy (safe for concurrent use),
+// unlike the deterministic source most single-threaded tests install.
+func concConfig(sched *keys.Schedule) Config {
+	return Config{
+		Schedule:   sched,
+		Anycast:    anycast,
+		IsCustomer: func(a netip.Addr) bool { return custNet.Contains(a) },
+		Clock:      func() time.Time { return tStart.Add(10 * time.Minute) },
+	}
+}
+
+// mkDataBatch builds n forward-path data packets from n distinct outside
+// sources, each with a session key derived exactly as the stateless
+// neutralizer will re-derive it, plus — when withBad is set — a sprinkle
+// of hostile packets (bad address block, stale epoch, truncated header)
+// that must be dropped and counted, never panic.
+func mkDataBatch(t testing.TB, sched *keys.Schedule, n int, withBad bool) (pkts [][]byte, good, bad int) {
+	t.Helper()
+	epoch := sched.EpochAt(tStart.Add(10 * time.Minute))
+	payload := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		src := netip.AddrFrom4([4]byte{172, 16, byte(i >> 8), byte(i)})
+		var nonce keys.Nonce
+		binary.BigEndian.PutUint64(nonce[:], uint64(i)+1)
+		ks, err := sched.SessionKey(epoch, nonce, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blk, err := aesutil.EncryptAddr(ks, googAddr, [8]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh := &shim.Header{
+			Type: shim.TypeData, InnerProto: wire.ProtoUDP,
+			Epoch: epoch, Nonce: nonce, HiddenAddr: blk,
+		}
+		pkt, err := buildShimPacket(src, anycast, 0, sh, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts = append(pkts, pkt)
+		good++
+		if withBad && i%7 == 3 {
+			// A forged address block: decrypts to garbage, fails the
+			// check value, and must be counted as DropBadAddrBlock.
+			forged := append([]byte(nil), pkt...)
+			forged[len(forged)-len(payload)-1] ^= 0xff
+			pkts = append(pkts, forged)
+			bad++
+		}
+		if withBad && i%11 == 5 {
+			pkts = append(pkts, []byte{0x45, 0x00, 0x00}) // truncated
+			bad++
+		}
+	}
+	return pkts, good, bad
+}
+
+// outputKey canonicalizes an output packet for multiset comparison.
+func outputMultiset(outs []Outgoing) map[string]int {
+	m := make(map[string]int, len(outs))
+	for _, o := range outs {
+		m[string(o.Pkt)] = m[string(o.Pkt)] + 1
+	}
+	return m
+}
+
+func sameMultiset(t *testing.T, label string, want, got map[string]int) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d distinct outputs, want %d", label, len(got), len(want))
+	}
+	for k, c := range want {
+		if got[k] != c {
+			t.Fatalf("%s: output count mismatch for one packet: got %d want %d", label, got[k], c)
+		}
+	}
+}
+
+// TestProcessConcurrent hammers a single shared Neutralizer from many
+// goroutines (each with its own Scratch) and a sharded Pool, and asserts
+// both produce byte-identical outputs to the serial path with consistent
+// merged stats. Run under -race this is the statelessness claim made
+// mechanically checkable.
+func TestProcessConcurrent(t *testing.T) {
+	sched := testSchedule()
+	pkts, good, bad := mkDataBatch(t, sched, 96, true)
+
+	// Serial reference.
+	serial, err := New(concConfig(sched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make([]Outgoing, 0, good)
+	for _, pkt := range pkts {
+		outs, err := serial.Process(pkt)
+		if err != nil {
+			continue
+		}
+		ref = append(ref, outs...)
+	}
+	if len(ref) != good {
+		t.Fatalf("serial path forwarded %d packets, want %d", len(ref), good)
+	}
+	refSet := outputMultiset(ref)
+	if got := serial.Stats().Snapshot(); got.DataForwarded != uint64(good) || got.Dropped() != uint64(bad) {
+		t.Fatalf("serial stats: forwarded=%d dropped=%d, want %d/%d", got.DataForwarded, got.Dropped(), good, bad)
+	}
+
+	// One shared replica, many goroutines, per-goroutine scratches.
+	const G = 8
+	shared, err := New(concConfig(sched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, G)
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := NewScratch()
+			n := 0
+			for _, pkt := range pkts {
+				// Periodically recycle buffers, as a real worker would.
+				if n%32 == 0 {
+					s.Reset()
+				}
+				n++
+				outs, err := shared.ProcessScratch(s, pkt)
+				if err != nil {
+					continue
+				}
+				for _, o := range outs {
+					if refSet[string(o.Pkt)] == 0 {
+						errCh <- fmt.Errorf("concurrent output not produced by serial path")
+						return
+					}
+				}
+			}
+			errCh <- nil
+		}()
+	}
+	wg.Wait()
+	for g := 0; g < G; g++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := shared.Stats().Snapshot(); got.DataForwarded != uint64(G*good) || got.Dropped() != uint64(G*bad) {
+		t.Fatalf("shared stats: forwarded=%d dropped=%d, want %d/%d", got.DataForwarded, got.Dropped(), G*good, G*bad)
+	}
+
+	// Sharded pool, several rounds; outputs must match the serial
+	// multiset exactly and merged stats must add up.
+	pool, err := NewPool(PoolConfig{Workers: 4, Config: concConfig(sched)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	const rounds = 5
+	for r := 0; r < rounds; r++ {
+		outs, dropped := pool.ProcessBatch(pkts)
+		if dropped != bad {
+			t.Fatalf("round %d: pool dropped %d, want %d", r, dropped, bad)
+		}
+		sameMultiset(t, "pool", refSet, outputMultiset(outs))
+	}
+	agg := pool.Stats()
+	if agg.DataForwarded != uint64(rounds*good) || agg.Dropped() != uint64(rounds*bad) {
+		t.Fatalf("pool stats: forwarded=%d dropped=%d, want %d/%d", agg.DataForwarded, agg.Dropped(), rounds*good, rounds*bad)
+	}
+	if pool.Dropped() != uint64(rounds*bad) {
+		t.Fatalf("pool.Dropped()=%d, want %d", pool.Dropped(), rounds*bad)
+	}
+	// Work actually spread across replicas: with 96 sources and 4
+	// shards, no replica should have seen zero packets.
+	for i := 0; i < pool.Workers(); i++ {
+		if pool.Replica(i).Stats().Snapshot().DataForwarded == 0 {
+			t.Errorf("replica %d processed nothing; sharding is degenerate", i)
+		}
+	}
+}
+
+// TestPoolShardingIsInterchangeable pins the anycast property: pools of
+// different worker counts (different shard placements) produce identical
+// output multisets, because every replica derives the same keys from the
+// same schedule.
+func TestPoolShardingIsInterchangeable(t *testing.T) {
+	sched := testSchedule()
+	pkts, good, _ := mkDataBatch(t, sched, 64, false)
+	var sets []map[string]int
+	for _, workers := range []int{1, 3, 4, 7} {
+		pool, err := NewPool(PoolConfig{Workers: workers, Config: concConfig(sched)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs, dropped := pool.ProcessBatch(pkts)
+		if dropped != 0 || len(outs) != good {
+			t.Fatalf("workers=%d: %d outputs %d dropped, want %d/0", workers, len(outs), dropped, good)
+		}
+		sets = append(sets, outputMultiset(outs))
+		pool.Close()
+	}
+	for i := 1; i < len(sets); i++ {
+		sameMultiset(t, "workers variant", sets[0], sets[i])
+	}
+}
+
+// TestReturnPathConcurrent drives the randomized return path from many
+// goroutines and verifies each output structurally (the hidden source
+// decrypts, under the packet's own derivation, back to the customer).
+func TestReturnPathConcurrent(t *testing.T) {
+	sched := testSchedule()
+	cfg := concConfig(sched)
+	shared, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := sched.EpochAt(cfg.Clock())
+	payload := make([]byte, 32)
+	const K = 48
+	pkts := make([][]byte, K)
+	initiators := make([]netip.Addr, K)
+	for i := range pkts {
+		initiators[i] = netip.AddrFrom4([4]byte{172, 16, 9, byte(i + 1)})
+		var nonce keys.Nonce
+		binary.BigEndian.PutUint64(nonce[:], uint64(i)+77)
+		sh := &shim.Header{
+			Type: shim.TypeReturn, InnerProto: wire.ProtoUDP,
+			Epoch: epoch, Nonce: nonce, ClearAddr: initiators[i],
+		}
+		pkt, err := buildShimPacket(googAddr, anycast, 0, sh, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts[i] = pkt
+	}
+	const G = 6
+	var wg sync.WaitGroup
+	errCh := make(chan error, G)
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := NewScratch()
+			for i, pkt := range pkts {
+				s.Reset()
+				outs, err := shared.ProcessScratch(s, pkt)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var ip wire.IPv4
+				var out shim.Header
+				if err := ip.DecodeFromBytes(outs[0].Pkt); err != nil {
+					errCh <- err
+					return
+				}
+				if err := out.DecodeFromBytes(ip.Payload()); err != nil {
+					errCh <- err
+					return
+				}
+				if ip.Src != anycast || ip.Dst != initiators[i] {
+					errCh <- fmt.Errorf("return %d: addresses %v->%v", i, ip.Src, ip.Dst)
+					return
+				}
+				ks, err := sched.SessionKey(out.Epoch, out.Nonce, initiators[i])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				hidden, _, err := aesutil.DecryptAddr(ks, out.HiddenAddr)
+				if err != nil || hidden != googAddr {
+					errCh <- fmt.Errorf("return %d: hidden source decodes to %v (%v)", i, hidden, err)
+					return
+				}
+				if !bytes.Equal(out.Payload(), payload) {
+					errCh <- fmt.Errorf("return %d: payload mangled", i)
+					return
+				}
+			}
+			errCh <- nil
+		}()
+	}
+	wg.Wait()
+	for g := 0; g < G; g++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := shared.Stats().Snapshot().ReturnForwarded; got != G*K {
+		t.Fatalf("ReturnForwarded=%d, want %d", got, G*K)
+	}
+}
+
+// TestScratchDataPathZeroAlloc guards the tentpole property: the forward
+// and return data paths allocate nothing per packet.
+func TestScratchDataPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	sched := testSchedule()
+	n, err := New(concConfig(sched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, _, _ := mkDataBatch(t, sched, 8, false)
+	s := NewScratch()
+	// Warm up: buffer ring growth and epoch-cipher caching happen once.
+	s.Reset()
+	for _, pkt := range pkts {
+		if _, err := n.ProcessScratch(s, pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Reset()
+		for _, pkt := range pkts {
+			if _, err := n.ProcessScratch(s, pkt); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("data path allocates %v per batch, want 0", allocs)
+	}
+}
+
+// TestProcessScratchMatchesProcess locks the compatibility contract: the
+// scratch path and the allocating path are the same function.
+func TestProcessScratchMatchesProcess(t *testing.T) {
+	sched := testSchedule()
+	n, err := New(concConfig(sched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, _, _ := mkDataBatch(t, sched, 32, true)
+	s := NewScratch()
+	for i, pkt := range pkts {
+		s.Reset()
+		fastOuts, fastErr := n.ProcessScratch(s, pkt)
+		slowOuts, slowErr := n.Process(pkt)
+		if (fastErr == nil) != (slowErr == nil) {
+			t.Fatalf("pkt %d: error divergence: scratch=%v process=%v", i, fastErr, slowErr)
+		}
+		if len(fastOuts) != len(slowOuts) {
+			t.Fatalf("pkt %d: output count divergence", i)
+		}
+		for j := range fastOuts {
+			if !bytes.Equal(fastOuts[j].Pkt, slowOuts[j].Pkt) {
+				t.Fatalf("pkt %d output %d: bytes diverge", i, j)
+			}
+		}
+	}
+}

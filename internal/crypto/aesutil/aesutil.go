@@ -45,28 +45,8 @@ var addrBlockMagic = [4]byte{'n', 'e', 'u', 't'}
 // classic variable-length extension weakness; all users of this function
 // MAC short, structured inputs.
 func CBCMAC(key Key, data []byte) Key {
-	block, err := aes.NewCipher(key[:])
-	if err != nil {
-		// aes.NewCipher only fails on invalid key sizes, which the Key
-		// type rules out.
-		panic(fmt.Sprintf("aesutil: %v", err))
-	}
-	var mac [BlockSize]byte
-	binary.BigEndian.PutUint64(mac[:8], uint64(len(data)))
-	block.Encrypt(mac[:], mac[:])
-	var chunk [BlockSize]byte
-	for len(data) > 0 {
-		n := copy(chunk[:], data)
-		for i := n; i < BlockSize; i++ {
-			chunk[i] = 0
-		}
-		for i := 0; i < BlockSize; i++ {
-			mac[i] ^= chunk[i]
-		}
-		block.Encrypt(mac[:], mac[:])
-		data = data[n:]
-	}
-	return Key(mac)
+	var w MACScratch
+	return NewBlock(key).CBCMACScratch(&w, data)
 }
 
 // DeriveKey computes a keyed hash over the given parts with unambiguous
@@ -149,4 +129,60 @@ func CTRCrypt(key Key, nonce [8]byte, data []byte) {
 // Equal compares two keys in constant time.
 func Equal(a, b Key) bool {
 	return subtle.ConstantTimeCompare(a[:], b[:]) == 1
+}
+
+// Block wraps a pre-expanded crypto/aes cipher so long-lived keys (the
+// per-epoch master keys) pay aes.NewCipher's key expansion and allocation
+// once instead of per packet. The zero value is not usable.
+type Block struct {
+	c cipher.Block
+}
+
+// NewBlock expands key once. Unlike per-packet session keys, a master key
+// lives for an epoch, so this allocation is amortized to nothing.
+func NewBlock(key Key) Block {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		// aes.NewCipher only fails on invalid key sizes, which the Key
+		// type rules out.
+		panic(fmt.Sprintf("aesutil: %v", err))
+	}
+	return Block{c: block}
+}
+
+// Valid reports whether the block has been initialized.
+func (b Block) Valid() bool { return b.c != nil }
+
+// MACScratch holds the working state of a CBCMACScratch computation.
+// Passing buffers through the cipher.Block interface makes them escape to
+// the heap, so they must live in reusable, caller-owned storage for the
+// computation to be allocation-free. One MACScratch per worker.
+type MACScratch struct {
+	mac   [BlockSize]byte
+	chunk [BlockSize]byte
+}
+
+// CBCMACScratch computes the same function as CBCMAC under the wrapped
+// key, with all working state in w: zero allocations and no per-call key
+// expansion. data must also live in caller-amortized storage for the call
+// to be allocation-free.
+func (b Block) CBCMACScratch(w *MACScratch, data []byte) Key {
+	mac := w.mac[:]
+	for i := 8; i < BlockSize; i++ {
+		mac[i] = 0
+	}
+	binary.BigEndian.PutUint64(mac[:8], uint64(len(data)))
+	b.c.Encrypt(mac, mac)
+	for len(data) > 0 {
+		n := copy(w.chunk[:], data)
+		for i := n; i < BlockSize; i++ {
+			w.chunk[i] = 0
+		}
+		for i := 0; i < BlockSize; i++ {
+			mac[i] ^= w.chunk[i]
+		}
+		b.c.Encrypt(mac, mac)
+		data = data[n:]
+	}
+	return Key(w.mac)
 }

@@ -20,6 +20,7 @@ import (
 	"io"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netneutral/internal/crypto/aesutil"
@@ -55,13 +56,26 @@ func (n Nonce) Uint64() uint64 { return binary.BigEndian.Uint64(n[:]) }
 // concurrent use; the only mutable state is a cache of derived per-epoch
 // master keys (pure functions of the root, so caching does not violate
 // the neutralizer's statelessness — the cache is config, not flow state).
+//
+// The cache is copy-on-write: readers load an immutable map through an
+// atomic pointer and never take a lock, so session-key derivation scales
+// linearly across the shard workers hammering one shared Schedule. Only
+// the handful of first-packet-of-an-epoch writers serialize on the mutex.
 type Schedule struct {
 	root     aesutil.Key
 	epochLen time.Duration
 	start    time.Time
 
-	mu    sync.Mutex
-	cache map[Epoch]aesutil.Key
+	cache atomic.Pointer[map[Epoch]epochEntry]
+	mu    sync.Mutex // serializes cache writers only
+}
+
+// epochEntry caches everything derivable from one epoch's master key:
+// the key itself and its pre-expanded AES cipher, so the per-packet KDF
+// pays neither aes.NewCipher nor its allocation.
+type epochEntry struct {
+	key aesutil.Key
+	blk aesutil.Block
 }
 
 // NewSchedule creates a schedule anchored at start with the given epoch
@@ -70,7 +84,10 @@ func NewSchedule(root aesutil.Key, start time.Time, epochLen time.Duration) *Sch
 	if epochLen <= 0 {
 		epochLen = DefaultEpochLength
 	}
-	return &Schedule{root: root, epochLen: epochLen, start: start, cache: make(map[Epoch]aesutil.Key)}
+	s := &Schedule{root: root, epochLen: epochLen, start: start}
+	empty := make(map[Epoch]epochEntry)
+	s.cache.Store(&empty)
+	return s
 }
 
 // NewRandomSchedule creates a schedule with a random root secret.
@@ -98,19 +115,32 @@ func (s *Schedule) EpochAt(t time.Time) Epoch {
 // MasterKey returns KM for the given epoch, derived from the root secret
 // (cached: a handful of epochs are ever live).
 func (s *Schedule) MasterKey(e Epoch) aesutil.Key {
-	s.mu.Lock()
-	if k, ok := s.cache[e]; ok {
-		s.mu.Unlock()
-		return k
+	return s.epoch(e).key
+}
+
+// epoch returns the cached entry for e, deriving and publishing it on
+// first use. The read path is lock-free.
+func (s *Schedule) epoch(e Epoch) epochEntry {
+	if ent, ok := (*s.cache.Load())[e]; ok {
+		return ent
 	}
-	s.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.cache.Load()
+	if ent, ok := old[e]; ok {
+		return ent
+	}
 	var eb [4]byte
 	binary.BigEndian.PutUint32(eb[:], uint32(e))
 	k := aesutil.DeriveKey(s.root, []byte("netneutral-master-key"), eb[:])
-	s.mu.Lock()
-	s.cache[e] = k
-	s.mu.Unlock()
-	return k
+	ent := epochEntry{key: k, blk: aesutil.NewBlock(k)}
+	next := make(map[Epoch]epochEntry, len(old)+1)
+	for ep, v := range old {
+		next[ep] = v
+	}
+	next[e] = ent
+	s.cache.Store(&next)
+	return ent
 }
 
 // Acceptable reports whether a packet keyed under epoch pkt should be
@@ -122,6 +152,17 @@ func (s *Schedule) Acceptable(pkt Epoch, now time.Time) bool {
 	return pkt == cur || (cur > 0 && pkt == cur-1)
 }
 
+// Work holds the reusable working state of a session-key derivation.
+// Buffers routed through the cipher.Block interface escape to the heap,
+// so they must live in caller-owned storage (one Work per worker) for
+// SessionKeyInto to be allocation-free. The zero value is ready to use.
+type Work struct {
+	mac aesutil.MACScratch
+	// frame is the length-prefixed encoding of (nonce, srcIP):
+	// len16(8) ‖ nonce ‖ len16(4) ‖ addr — 16 bytes, one AES block.
+	frame [16]byte
+}
+
 // SessionKey computes the paper's core derivation
 //
 //	Ks = hash(KM, nonce, srcIP)
@@ -129,12 +170,24 @@ func (s *Schedule) Acceptable(pkt Epoch, now time.Time) bool {
 // for the given epoch. The computation is pure: no state is read or
 // written, which is what makes the neutralizer stateless and replicable.
 func (s *Schedule) SessionKey(e Epoch, nonce Nonce, src netip.Addr) (aesutil.Key, error) {
+	var w Work
+	return s.SessionKeyInto(&w, e, nonce, src)
+}
+
+// SessionKeyInto is SessionKey with the working state supplied by the
+// caller: two AES block operations under the cached epoch cipher and zero
+// allocations. It computes bit-identical output to SessionKey.
+func (s *Schedule) SessionKeyInto(w *Work, e Epoch, nonce Nonce, src netip.Addr) (aesutil.Key, error) {
 	if !src.Is4() {
 		return aesutil.Key{}, fmt.Errorf("keys: source %v is not IPv4", src)
 	}
 	a4 := src.As4()
-	km := s.MasterKey(e)
-	return aesutil.DeriveKey(km, nonce[:], a4[:]), nil
+	// Same framing as aesutil.DeriveKey(km, nonce[:], a4[:]).
+	binary.BigEndian.PutUint16(w.frame[0:2], 8)
+	copy(w.frame[2:10], nonce[:])
+	binary.BigEndian.PutUint16(w.frame[10:12], 4)
+	copy(w.frame[12:16], a4[:])
+	return s.epoch(e).blk.CBCMACScratch(&w.mac, w.frame[:]), nil
 }
 
 // SessionKeyAt is SessionKey with the epoch resolved from a timestamp.

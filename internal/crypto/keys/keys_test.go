@@ -1,6 +1,7 @@
 package keys
 
 import (
+	mathrand "math/rand"
 	"net/netip"
 	"testing"
 	"testing/quick"
@@ -190,6 +191,68 @@ func BenchmarkSessionKey(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.SessionKey(0, n, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSessionKeyIntoMatchesDeriveKey pins SessionKeyInto (cached-cipher,
+// zero-alloc) to the reference framing aesutil.DeriveKey(km, nonce, addr):
+// replicas old and new must derive identical session keys.
+func TestSessionKeyIntoMatchesDeriveKey(t *testing.T) {
+	s := newTestSchedule()
+	var w Work
+	rng := mathrand.New(mathrand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		var n Nonce
+		var a4 [4]byte
+		rng.Read(n[:])
+		rng.Read(a4[:])
+		e := Epoch(rng.Intn(4))
+		src := netip.AddrFrom4(a4)
+		want := aesutil.DeriveKey(s.MasterKey(e), n[:], a4[:])
+		got, err := s.SessionKeyInto(&w, e, n, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("iter %d: SessionKeyInto diverges from DeriveKey framing", i)
+		}
+		slow, err := s.SessionKey(e, n, src)
+		if err != nil || slow != want {
+			t.Fatalf("iter %d: SessionKey diverges (err=%v)", i, err)
+		}
+	}
+	if _, err := s.SessionKeyInto(&w, 0, Nonce{}, netip.MustParseAddr("::1")); err == nil {
+		t.Fatal("SessionKeyInto accepted an IPv6 source")
+	}
+}
+
+func TestSessionKeyIntoZeroAlloc(t *testing.T) {
+	s := newTestSchedule()
+	src := netip.MustParseAddr("10.0.0.1")
+	var w Work
+	var n Nonce
+	s.MasterKey(0) // prime the epoch cache
+	allocs := testing.AllocsPerRun(200, func() {
+		n[0]++
+		if _, err := s.SessionKeyInto(&w, 0, n, src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SessionKeyInto allocates %v per op, want 0", allocs)
+	}
+}
+
+func BenchmarkSessionKeyInto(b *testing.B) {
+	s := newTestSchedule()
+	src := netip.MustParseAddr("10.0.0.1")
+	n := Nonce{1, 2, 3, 4, 5, 6, 7, 8}
+	var w Work
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SessionKeyInto(&w, 0, n, src); err != nil {
 			b.Fatal(err)
 		}
 	}

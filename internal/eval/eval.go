@@ -71,6 +71,7 @@ func All() []Experiment {
 		{"E2", "Sources served per master-key epoch (§4: 88M/hour)", RunE2},
 		{"E3", "Data path vs vanilla forwarding (§4: 422 vs 600 kpps)", RunE3},
 		{"E4", "Raw crypto operation rate (§4: 2.35M ops/s)", RunE4},
+		{"E5", "Sharded stateless data plane (anycast scaling in-process)", RunE5},
 		{"F1", "Figure 1: customer indistinguishability inside a discriminatory ISP", RunF1},
 		{"F2", "Figure 2: protocol walk with eavesdropper assertions", RunF2},
 		{"A1", "§3.2 ablation: chosen key setup vs certified-pubkey alternative", RunA1},
@@ -112,6 +113,7 @@ type BenchEnv struct {
 	Sched     *keys.Schedule
 	ClientKey *lightrsa.PrivateKey
 	AltKey    *lightrsa.PrivateKey
+	cfg       core.Config
 
 	// SetupPkt is a Figure 2(a) key-setup request.
 	SetupPkt []byte
@@ -162,6 +164,7 @@ func NewBenchEnv(offload bool, altMode bool) (*BenchEnv, error) {
 	if err != nil {
 		return nil, err
 	}
+	env.cfg = cfg
 
 	// Credentials as the stateless derivation would produce them.
 	env.Epoch = sched.EpochAt(cfg.Clock())
@@ -219,6 +222,49 @@ func NewBenchEnv(offload bool, altMode bool) (*BenchEnv, error) {
 	}
 	env.VanillaPkt = buf.Bytes()
 	return env, nil
+}
+
+// NeutralizerConfig returns the configuration the bench neutralizer was
+// built with, so callers can construct pools of interchangeable replicas
+// against the same schedule.
+func (e *BenchEnv) NeutralizerConfig() core.Config { return e.cfg }
+
+// DataBatch builds n forward-path data packets drawn from nSources
+// distinct outside sources (cycling), each carrying a hidden customer
+// destination encrypted under the session key the stateless neutralizer
+// will re-derive from the packet alone. It feeds the sharded-data-plane
+// experiment (E5), BenchmarkProcessBatch, and the fuzz seed corpora.
+func (e *BenchEnv) DataBatch(nSources, n int) ([][]byte, error) {
+	if nSources <= 0 || nSources > 0xffff {
+		return nil, fmt.Errorf("eval: bad source count %d", nSources)
+	}
+	payload := make([]byte, 64)
+	pkts := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		s := i % nSources
+		src := netip.AddrFrom4([4]byte{172, 16, byte(s >> 8), byte(s)})
+		var nonce keys.Nonce
+		nonce[0] = byte(s >> 8)
+		nonce[1] = byte(s)
+		nonce[7] = 1
+		ks, err := e.Sched.SessionKey(e.Epoch, nonce, src)
+		if err != nil {
+			return nil, err
+		}
+		blk, err := aesutil.EncryptAddr(ks, benchDst, [8]byte{byte(i), byte(i >> 8)})
+		if err != nil {
+			return nil, err
+		}
+		pkt, err := buildShim(src, benchAnycast, &shim.Header{
+			Type: shim.TypeData, InnerProto: wire.ProtoUDP,
+			Epoch: e.Epoch, Nonce: nonce, HiddenAddr: blk,
+		}, payload)
+		if err != nil {
+			return nil, err
+		}
+		pkts = append(pkts, pkt)
+	}
+	return pkts, nil
 }
 
 // FreshVanilla returns a copy of the vanilla packet (VanillaForward

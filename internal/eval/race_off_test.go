@@ -1,0 +1,9 @@
+//go:build !race
+
+package eval
+
+// raceEnabled reports whether the race detector is active. Performance
+// *shape* assertions are skipped under -race: instrumentation slows the
+// table-driven software AES of the data path far more than the
+// big-integer RSA of key setup, so relative rates are not meaningful.
+const raceEnabled = false

@@ -115,9 +115,15 @@ type Grant struct {
 // Marshal encodes the grant.
 func (g Grant) Marshal() []byte {
 	out := make([]byte, GrantLen)
-	copy(out[:8], g.Nonce[:])
-	copy(out[8:], g.Key[:])
+	g.encodeTo(out)
 	return out
+}
+
+// encodeTo writes the grant into dst (len >= GrantLen) without
+// allocating; the serializer's hot path uses this instead of Marshal.
+func (g Grant) encodeTo(dst []byte) {
+	copy(dst[:8], g.Nonce[:])
+	copy(dst[8:GrantLen], g.Key[:])
 }
 
 // UnmarshalGrant decodes a grant.
@@ -225,6 +231,17 @@ func (h *Header) bodyLen() (int, error) {
 	}
 }
 
+// EncodedLen returns the total serialized size of the header (fixed
+// header plus type/flag-dependent body), or 0 for an unknown type. Use
+// it to reserve exact buffer headroom before SerializeTo.
+func (h *Header) EncodedLen() int {
+	bl, err := h.bodyLen()
+	if err != nil {
+		return 0
+	}
+	return HeaderLen + bl
+}
+
 // SerializeTo implements wire.SerializableLayer. The buffer's current
 // contents become the shim payload.
 func (h *Header) SerializeTo(b *wire.SerializeBuffer) error {
@@ -245,7 +262,7 @@ func (h *Header) SerializeTo(b *wire.SerializeBuffer) error {
 		binary.BigEndian.PutUint16(body[0:2], uint16(len(h.PublicKey)))
 		copy(body[2:], h.PublicKey)
 		if h.Flags&FlagOffloaded != 0 {
-			copy(body[2+len(h.PublicKey):], h.Grant.Marshal())
+			h.Grant.encodeTo(body[2+len(h.PublicKey):])
 		}
 	case TypeKeySetupResponse, TypeAltData:
 		binary.BigEndian.PutUint16(body[0:2], uint16(len(h.Ciphertext)))
@@ -257,14 +274,14 @@ func (h *Header) SerializeTo(b *wire.SerializeBuffer) error {
 			return err
 		}
 		if h.Flags&FlagGrant != 0 {
-			copy(body[4:], h.Grant.Marshal())
+			h.Grant.encodeTo(body[4:])
 		}
 	case TypeReturn, TypeKeyFetchRequest:
 		if err := putAddr4(body[0:4], h.ClearAddr); err != nil {
 			return err
 		}
 	case TypeKeyFetchResponse:
-		copy(body, h.Grant.Marshal())
+		h.Grant.encodeTo(body)
 	}
 	return nil
 }

@@ -59,6 +59,33 @@ type Outgoing = core.Outgoing
 // and fault-tolerant.
 func NewNeutralizer(cfg NeutralizerConfig) (*Neutralizer, error) { return core.New(cfg) }
 
+// Scratch is per-worker reusable state for the zero-allocation
+// processing path (Neutralizer.ProcessScratch). One per goroutine.
+type Scratch = core.Scratch
+
+// NewScratch creates an empty scratch; buffers grow on demand and are
+// retained across Reset.
+func NewScratch() *Scratch { return core.NewScratch() }
+
+// NeutralizerPool is a sharded in-process data plane: N stateless
+// Neutralizer replicas sharing one key schedule, fed by per-shard worker
+// goroutines through ProcessBatch. Because session keys are recomputed
+// from each packet, any replica can process any packet — the same
+// property that makes the service anycastable across machines.
+type NeutralizerPool = core.Pool
+
+// NeutralizerPoolConfig configures a NeutralizerPool.
+type NeutralizerPoolConfig = core.PoolConfig
+
+// NewNeutralizerPool builds the replicas and starts the shard workers.
+func NewNeutralizerPool(cfg NeutralizerPoolConfig) (*NeutralizerPool, error) {
+	return core.NewPool(cfg)
+}
+
+// NeutralizerStats is a mergeable point-in-time copy of neutralizer
+// counters (one replica's, or a whole pool's).
+type NeutralizerStats = core.StatsSnapshot
+
 // KeySchedule derives per-epoch master keys KM from a root secret and
 // session keys Ks = hash(KM, nonce, srcIP).
 type KeySchedule = keys.Schedule

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# bench.sh — run the data-plane benchmark suite and record a BENCH_*.json
+# snapshot so future PRs can track the performance trajectory against
+# this baseline.
+#
+# Usage:
+#   scripts/bench.sh                 # full suite, default benchtime
+#   BENCHTIME=2000x scripts/bench.sh # quicker pass
+#   BENCH='ProcessBatch|Parallel' scripts/bench.sh
+#
+# The JSON includes host core count; the 4-worker scaling check is only
+# enforced on hosts with >= 4 CPUs (see scripts/benchjson).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-DataPath|ProcessBatch|KeySetup$|VanillaForward|CryptoOps}"
+BENCHTIME="${BENCHTIME:-5000x}"
+GIT="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
+OUT="${OUT:-BENCH_${GIT}.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running: go test -run ^\$ -bench '${BENCH}' -benchmem -benchtime ${BENCHTIME} ." >&2
+go test -run '^$' -bench "${BENCH}" -benchmem -benchtime "${BENCHTIME}" -count 1 . | tee "$RAW" >&2
+
+BENCH_GIT="$GIT" go run ./scripts/benchjson < "$RAW" > "$OUT"
+echo "wrote $OUT" >&2

@@ -1,0 +1,165 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into the BENCH_*.json schema used to track the performance trajectory
+// across PRs (see scripts/bench.sh). It also evaluates the data-plane
+// acceptance checks: BenchmarkProcessBatch must report zero allocations
+// per op, and BenchmarkDataPathParallel at 4 workers should reach >= 2x
+// the single-worker rate — a check that is only meaningful (and only
+// enforced) when the host actually has >= 4 CPUs, so the host core count
+// is recorded alongside every run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name        string   `json:"name"`
+	Iters       int64    `json:"iters"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	MBPerS      *float64 `json:"mb_per_s,omitempty"`
+	PktsPerOp   int64    `json:"pkts_per_op"`
+	Kpps        float64  `json:"kpps"`
+}
+
+// Report is the BENCH_*.json document.
+type Report struct {
+	GeneratedBy string            `json:"generated_by"`
+	Timestamp   string            `json:"timestamp"`
+	Git         string            `json:"git,omitempty"`
+	GoVersion   string            `json:"go_version"`
+	GOOS        string            `json:"goos"`
+	GOARCH      string            `json:"goarch"`
+	CPU         string            `json:"cpu,omitempty"`
+	Cores       int               `json:"cores"`
+	Benchmarks  []Bench           `json:"benchmarks"`
+	Checks      map[string]string `json:"checks"`
+}
+
+var (
+	pktsRe = regexp.MustCompile(`pkts=(\d+)`)
+	cpuSfx = regexp.MustCompile(`-\d+$`)
+)
+
+func main() {
+	rep := Report{
+		GeneratedBy: "scripts/bench.sh",
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		Git:         os.Getenv("BENCH_GIT"),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Cores:       runtime.NumCPU(),
+		Checks:      map[string]string{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu:"); ok {
+			rep.CPU = strings.TrimSpace(cpu)
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		b := Bench{Name: cpuSfx.ReplaceAllString(fields[0], ""), PktsPerOp: 1}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b.Iters = iters
+		if m := pktsRe.FindStringSubmatch(b.Name); m != nil {
+			b.PktsPerOp, _ = strconv.ParseInt(m[1], 10, 64)
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = ptr(v)
+			case "allocs/op":
+				b.AllocsPerOp = ptr(v)
+			case "MB/s":
+				b.MBPerS = ptr(v)
+			case "kpps":
+				b.Kpps = v
+			}
+		}
+		if b.Kpps == 0 && b.NsPerOp > 0 {
+			b.Kpps = float64(b.PktsPerOp) / b.NsPerOp * 1e6
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	evalChecks(&rep)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	for k, v := range rep.Checks {
+		fmt.Fprintf(os.Stderr, "check %-28s %s\n", k+":", v)
+	}
+}
+
+func ptr(v float64) *float64 { return &v }
+
+// evalChecks records the acceptance checks for the zero-alloc sharded
+// data plane.
+func evalChecks(rep *Report) {
+	var batchAllocs *float64
+	rates := map[string]float64{}
+	for _, b := range rep.Benchmarks {
+		if strings.HasPrefix(b.Name, "BenchmarkProcessBatch/") {
+			batchAllocs = b.AllocsPerOp
+		}
+		if strings.HasPrefix(b.Name, "BenchmarkDataPathParallel/") {
+			if i := strings.Index(b.Name, "workers="); i >= 0 {
+				w := strings.SplitN(b.Name[i+len("workers="):], "/", 2)[0]
+				rates[w] = b.Kpps
+			}
+		}
+	}
+	switch {
+	case batchAllocs == nil:
+		rep.Checks["process_batch_zero_alloc"] = "not run"
+	case *batchAllocs == 0:
+		rep.Checks["process_batch_zero_alloc"] = "pass (0 allocs/op)"
+	default:
+		rep.Checks["process_batch_zero_alloc"] = fmt.Sprintf("FAIL (%v allocs/op)", *batchAllocs)
+	}
+	r1, r4 := rates["1"], rates["4"]
+	switch {
+	case r1 == 0 || r4 == 0:
+		rep.Checks["parallel_scaling_4w"] = "not run"
+	case rep.Cores < 4:
+		rep.Checks["parallel_scaling_4w"] = fmt.Sprintf(
+			"skipped: host has %d core(s) < 4; measured %.2fx", rep.Cores, r4/r1)
+	case r4 >= 2*r1:
+		rep.Checks["parallel_scaling_4w"] = fmt.Sprintf("pass (%.2fx of 1 worker)", r4/r1)
+	default:
+		rep.Checks["parallel_scaling_4w"] = fmt.Sprintf("FAIL (%.2fx of 1 worker, want >= 2x)", r4/r1)
+	}
+}
