@@ -1,7 +1,8 @@
 // Benchmarks regenerating the paper's evaluation numbers (§4) and the
-// ablation measurements, one per experiment ID in DESIGN.md §4. The same
-// measurement logic backs cmd/neutbench; these testing.B variants are the
-// canonical way to re-measure on new hardware:
+// ablation measurements, one per experiment ID in the registry printed by
+// `neutbench -list` (see README.md). The same measurement logic backs
+// cmd/neutbench; these testing.B variants are the canonical way to
+// re-measure on new hardware:
 //
 //	go test -bench=. -benchmem
 //
@@ -20,7 +21,9 @@ import (
 	"netneutral/internal/core"
 	"netneutral/internal/crypto/aesutil"
 	"netneutral/internal/eval"
+	"netneutral/internal/netem"
 	"netneutral/internal/onion"
+	"netneutral/internal/wire"
 )
 
 func mustEnv(b *testing.B, offload, alt bool) *eval.BenchEnv {
@@ -295,6 +298,79 @@ func BenchmarkOnionDataCell(b *testing.B) {
 		if _, _, err := circ.Send(dst, payload); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkNetemForward measures the emulator's forwarding hot path: one
+// packet originated, forwarded across a router, and delivered per op
+// (two links, ~6 events). The acceptance bar for the pooled-packet,
+// typed-event engine is 0 allocs/op in steady state.
+func BenchmarkNetemForward(b *testing.B) {
+	simStart := time.Date(2006, 11, 1, 0, 0, 0, 0, time.UTC)
+	sim := netem.NewSimulator(simStart, 1)
+	a := sim.MustAddNode("a", "", netip.MustParseAddr("10.0.0.1"))
+	r := sim.MustAddNode("r", "", netip.MustParseAddr("10.0.0.254"))
+	c := sim.MustAddNode("c", "", netip.MustParseAddr("10.0.1.1"))
+	sim.Connect(a, r, netem.LinkConfig{Delay: time.Millisecond})
+	sim.Connect(r, c, netem.LinkConfig{Delay: time.Millisecond})
+	sim.BuildRoutes()
+	delivered := 0
+	c.SetHandler(func(time.Time, []byte) { delivered++ })
+	env := mustEnv(b, false, false)
+	pkt := env.FreshVanilla()
+	src, dst := netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.1.1")
+	if err := wire.RewriteIPv4Addrs(pkt, &src, &dst); err != nil {
+		b.Fatal(err)
+	}
+	// Warm the pool and the event heap so the timed region is steady
+	// state.
+	_ = a.Send(pkt)
+	sim.Run()
+	b.SetBytes(int64(len(pkt)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send(pkt); err != nil {
+			b.Fatal(err)
+		}
+		sim.Run()
+	}
+	b.StopTimer()
+	if delivered != b.N+1 {
+		b.Fatalf("delivered %d/%d", delivered, b.N+1)
+	}
+	reportKpps(b, 1)
+}
+
+// BenchmarkNetemMetro drives the 10k-host fan-out (built once) with
+// bursts of neutralized traffic: the engine-scale acceptance benchmark.
+// It reports sim events/sec and forwarded packets/sec; scripts/benchjson
+// records both in BENCH_*.json. Pre-refactor engine on the same topology:
+// ~10k pps (linear route scans, per-hop copies, closure events).
+func BenchmarkNetemMetro(b *testing.B) {
+	const hosts = 10000
+	const burst = 512
+	st, err := eval.NewMetroBench(hosts, burst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One warmup burst outside the timer.
+	if err := st.RunBurst(); err != nil {
+		b.Fatal(err)
+	}
+	ev0, fwd0 := st.Counters()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.RunBurst(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	ev1, fwd1 := st.Counters()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(ev1-ev0)/sec, "events/s")
+		b.ReportMetric(float64(fwd1-fwd0)/sec, "pps")
 	}
 }
 

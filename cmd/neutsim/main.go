@@ -3,11 +3,18 @@
 // ISP sees, what its classifier catches, and whether the targeted
 // customer's traffic survives.
 //
+// With -hosts it instead runs the metro-scale scenario: a fan-out
+// topology (supportive ISP + discriminatory transit + N customer hosts,
+// built by netem.BuildFanout) with the stateless neutralizer at the
+// border, reporting engine throughput (sim-events/sec, packets/sec)
+// alongside the scenario verdicts.
+//
 // Usage:
 //
 //	neutsim                       # plain vs neutralized, summary
 //	neutsim -neutralize=false     # only the plain phase
 //	neutsim -packets 50 -trace    # per-packet trace of the AT&T segment
+//	neutsim -hosts 10000 -duration 2s -seed 7   # metro-scale run
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"netneutral/internal/core"
 	"netneutral/internal/crypto/aesutil"
 	"netneutral/internal/endhost"
+	"netneutral/internal/eval"
 	"netneutral/internal/isp"
 	"netneutral/internal/netem"
 	"netneutral/internal/shim"
@@ -42,7 +50,14 @@ func main() {
 	neutralize := flag.Bool("neutralize", true, "also run the neutralized phase")
 	trace := flag.Bool("trace", false, "print each packet crossing the discriminatory ISP")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	hosts := flag.Int("hosts", 0, "run the metro-scale scenario with this many customer hosts (0 = Figure-1 narration)")
+	duration := flag.Duration("duration", 2*time.Second, "simulated traffic duration for the metro-scale scenario")
 	flag.Parse()
+
+	if *hosts > 0 {
+		runMetro(*hosts, *seed, *duration)
+		return
+	}
 
 	fmt.Println("== phase 1: plain addressing, ISP targets the customer ==")
 	delivered, hits := runPlain(*packets, *trace, *seed)
@@ -56,6 +71,23 @@ func main() {
 	fmt.Printf("delivered %d/%d; classifier hits %d; ISP saw customer address: %v\n",
 		delivered2, *packets, hits2, sawCustomer)
 	fmt.Println("the ISP can degrade the supportive ISP's traffic as a whole, but cannot single out the customer")
+}
+
+// runMetro drives the metro-scale fan-out scenario and narrates the
+// engine-level numbers.
+func runMetro(hosts int, seed int64, duration time.Duration) {
+	fmt.Printf("== metro scale: %d customers behind one neutralizer domain ==\n", hosts)
+	st, err := eval.RunMetro(eval.MetroConfig{Hosts: hosts, Seed: seed, Duration: duration})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topology        %d hosts built in %v\n", st.Hosts, st.BuildTime.Round(time.Millisecond))
+	fmt.Printf("traffic         %d neutralized packets over %v simulated\n", st.Sent, duration)
+	fmt.Printf("delivered       %d/%d (dropped %d)\n", st.Delivered, st.Sent, st.Dropped)
+	fmt.Printf("classifier hits %d — the transit ISP cannot single out a customer\n", st.ClassifierHits)
+	fmt.Printf("engine          %d sim events in %v wall: %.0f events/sec, %.0f fwd pps, %.0f delivered pps\n",
+		st.SimEvents, st.RunTime.Round(time.Millisecond), st.EventsPerSec, st.ForwardPps, st.DeliveredPps)
+	fmt.Printf("packet pool     %d buffers backed %d checkouts\n", st.PoolAllocated, st.PoolGets)
 }
 
 func buildWorld(seed int64) (*netem.Simulator, *netem.Node, *netem.Node, *netem.Node, *netem.Node, *core.Neutralizer) {

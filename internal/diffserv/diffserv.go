@@ -44,7 +44,7 @@ func DefaultClassifier(dscp uint8) int {
 // FIFO.
 type PriorityQueue struct {
 	classify Classifier
-	classes  [][]*netem.QueuedPacket
+	classes  [][]*netem.Packet
 	capacity int
 	dropped  []uint64
 }
@@ -63,14 +63,14 @@ func NewPriorityQueue(nClasses, perClassCap int, classify Classifier) *PriorityQ
 	}
 	return &PriorityQueue{
 		classify: classify,
-		classes:  make([][]*netem.QueuedPacket, nClasses),
+		classes:  make([][]*netem.Packet, nClasses),
 		capacity: perClassCap,
 		dropped:  make([]uint64, nClasses),
 	}
 }
 
 // Enqueue implements netem.Queue.
-func (q *PriorityQueue) Enqueue(p *netem.QueuedPacket) bool {
+func (q *PriorityQueue) Enqueue(p *netem.Packet) bool {
 	c := q.classify(p.DSCP)
 	if c < 0 {
 		c = 0
@@ -87,7 +87,7 @@ func (q *PriorityQueue) Enqueue(p *netem.QueuedPacket) bool {
 }
 
 // Dequeue implements netem.Queue: strict priority.
-func (q *PriorityQueue) Dequeue() *netem.QueuedPacket {
+func (q *PriorityQueue) Dequeue() *netem.Packet {
 	for c := range q.classes {
 		if len(q.classes[c]) > 0 {
 			p := q.classes[c][0]
@@ -120,7 +120,7 @@ func (q *PriorityQueue) Dropped(class int) uint64 {
 // starve lower classes.
 type WRRQueue struct {
 	classify Classifier
-	classes  [][]*netem.QueuedPacket
+	classes  [][]*netem.Packet
 	weights  []int
 	credit   []int
 	capacity int
@@ -144,7 +144,7 @@ func NewWRRQueue(weights []int, perClassCap int, classify Classifier) *WRRQueue 
 	}
 	return &WRRQueue{
 		classify: classify,
-		classes:  make([][]*netem.QueuedPacket, len(w)),
+		classes:  make([][]*netem.Packet, len(w)),
 		weights:  w,
 		credit:   make([]int, len(w)),
 		capacity: perClassCap,
@@ -152,7 +152,7 @@ func NewWRRQueue(weights []int, perClassCap int, classify Classifier) *WRRQueue 
 }
 
 // Enqueue implements netem.Queue.
-func (q *WRRQueue) Enqueue(p *netem.QueuedPacket) bool {
+func (q *WRRQueue) Enqueue(p *netem.Packet) bool {
 	c := q.classify(p.DSCP)
 	if c < 0 {
 		c = 0
@@ -169,7 +169,7 @@ func (q *WRRQueue) Enqueue(p *netem.QueuedPacket) bool {
 
 // Dequeue implements netem.Queue with weighted round robin over
 // non-empty classes.
-func (q *WRRQueue) Dequeue() *netem.QueuedPacket {
+func (q *WRRQueue) Dequeue() *netem.Packet {
 	if q.Len() == 0 {
 		return nil
 	}

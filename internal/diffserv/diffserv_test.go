@@ -9,8 +9,8 @@ import (
 	"netneutral/internal/wire"
 )
 
-func qp(dscp uint8, size int) *netem.QueuedPacket {
-	return &netem.QueuedPacket{DSCP: dscp, Size: size, Pkt: make([]byte, size)}
+func qp(dscp uint8, size int) *netem.Packet {
+	return &netem.Packet{DSCP: dscp, Size: size, Pkt: make([]byte, size)}
 }
 
 func TestDefaultClassifier(t *testing.T) {

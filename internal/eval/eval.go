@@ -4,8 +4,8 @@
 // shared by cmd/neutbench (which prints the rows) and the top-level
 // benchmark suite (which re-measures the micro numbers under testing.B).
 //
-// See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
-// recorded results.
+// See README.md ("Reproducing the paper's numbers") for the experiment
+// index; BENCH_*.json snapshots record measured results per PR.
 package eval
 
 import (
@@ -72,6 +72,7 @@ func All() []Experiment {
 		{"E3", "Data path vs vanilla forwarding (§4: 422 vs 600 kpps)", RunE3},
 		{"E4", "Raw crypto operation rate (§4: 2.35M ops/s)", RunE4},
 		{"E5", "Sharded stateless data plane (anycast scaling in-process)", RunE5},
+		{"E6", "Metro-scale emulation (10k customers, one neutralizer domain)", RunE6},
 		{"F1", "Figure 1: customer indistinguishability inside a discriminatory ISP", RunF1},
 		{"F2", "Figure 2: protocol walk with eavesdropper assertions", RunF2},
 		{"A1", "§3.2 ablation: chosen key setup vs certified-pubkey alternative", RunA1},

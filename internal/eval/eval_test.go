@@ -48,7 +48,7 @@ func parseKpps(t *testing.T, s string) float64 {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "F1", "F2", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "F1", "F2", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -315,5 +315,46 @@ func TestBenchEnvPacketsValid(t *testing.T) {
 	v := env.FreshVanilla()
 	if &v[0] == &env.VanillaPkt[0] {
 		t.Error("FreshVanilla must copy")
+	}
+}
+
+// TestE6MetroSmall exercises the metro path at reduced scale so the
+// default test run (and -race) stays fast; TestE6FullScale runs the
+// registered 10k-host experiment.
+func TestE6MetroSmall(t *testing.T) {
+	st, err := RunMetro(MetroConfig{Hosts: 1200, Seed: 3, Duration: 200 * time.Millisecond, RatePps: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sent == 0 || st.Delivered != uint64(st.Sent) {
+		t.Fatalf("delivered %d of %d", st.Delivered, st.Sent)
+	}
+	if st.ClassifierHits != 0 {
+		t.Errorf("classifier hits = %d, want 0 (neutralized traffic untargetable)", st.ClassifierHits)
+	}
+	if st.SimEvents == 0 || st.EventsPerSec <= 0 {
+		t.Errorf("engine counters missing: events=%d rate=%v", st.SimEvents, st.EventsPerSec)
+	}
+	// The pool must recycle: far fewer buffer allocations than checkouts.
+	if st.PoolAllocated*10 > st.PoolGets {
+		t.Errorf("pool allocated %d for %d gets: recycling broken", st.PoolAllocated, st.PoolGets)
+	}
+}
+
+func TestE6FullScale(t *testing.T) {
+	if raceEnabled {
+		t.Skip("10k-host run is slow under race instrumentation")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := runExp(t, "E6")
+	if got := row(t, res, "classifier hits at transit").Measured; got != "0" {
+		t.Errorf("classifier hits = %s", got)
+	}
+	del := row(t, res, "neutralized packets delivered").Measured
+	parts := strings.Split(del, "/")
+	if len(parts) != 2 || parts[0] != parts[1] {
+		t.Errorf("delivery = %s, want all", del)
 	}
 }

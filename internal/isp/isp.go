@@ -13,6 +13,12 @@
 //
 // The threat model follows §2: the ISP eavesdrops, delays and drops
 // within its own network but does not modify payloads or mount MITM.
+//
+// Hooks run on netem's no-copy packet view: the pkt slice aliases the
+// pooled buffer and is valid only for the duration of the call. Matchers
+// only read it, and the Eavesdropper extracts value-typed Observations
+// rather than retaining bytes, so policies add no per-packet copies to
+// the forwarding path even at metro scale.
 package isp
 
 import (

@@ -1,0 +1,284 @@
+package netem
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+)
+
+// route is one installed prefix route; the node's route list is the
+// source of truth and is compiled into the indexed FIB on demand.
+type route struct {
+	prefix netip.Prefix
+	link   *Link
+}
+
+// fib is a node's compiled forwarding table: an exact-match map for host
+// (/32, /128) routes — the overwhelming majority on emulated topologies,
+// where Dijkstra installs one host route per remote address — plus a
+// short table of broader prefixes sorted by descending length for
+// longest-prefix match. Compiled lazily after any route change, it turns
+// the seed engine's O(routes) linear scan per forwarded packet into an
+// O(1) map probe.
+type fib struct {
+	hosts    map[netip.Addr]*Link
+	prefixes []route // sorted by prefix length, longest first
+	dirty    bool
+}
+
+// AddRoute installs a static prefix route through the given link.
+func (n *Node) AddRoute(prefix netip.Prefix, l *Link) {
+	n.routes = append(n.routes, route{prefix: prefix, link: l})
+	n.fib.dirty = true
+}
+
+// ClearRoutes removes every installed route.
+func (n *Node) ClearRoutes() {
+	n.routes = n.routes[:0]
+	n.fib.dirty = true
+}
+
+// RouteCount reports installed routes (before FIB compilation).
+func (n *Node) RouteCount() int { return len(n.routes) }
+
+// compileFIB rebuilds the indexed FIB from the route list. Ties between
+// equal-length prefixes resolve to the earliest-installed route, matching
+// the historical linear scan (which only replaced on strictly longer).
+func (n *Node) compileFIB() {
+	f := &n.fib
+	if f.hosts == nil {
+		f.hosts = make(map[netip.Addr]*Link, len(n.routes))
+	} else {
+		clear(f.hosts)
+	}
+	f.prefixes = f.prefixes[:0]
+	for _, r := range n.routes {
+		if r.prefix.IsSingleIP() {
+			if _, dup := f.hosts[r.prefix.Addr()]; !dup {
+				f.hosts[r.prefix.Addr()] = r.link
+			}
+			continue
+		}
+		f.prefixes = append(f.prefixes, r)
+	}
+	// Stable insertion sort by descending prefix length: the table is
+	// short (host routes never land here) and stability preserves the
+	// first-installed-wins tie-break.
+	for i := 1; i < len(f.prefixes); i++ {
+		for j := i; j > 0 && f.prefixes[j].prefix.Bits() > f.prefixes[j-1].prefix.Bits(); j-- {
+			f.prefixes[j], f.prefixes[j-1] = f.prefixes[j-1], f.prefixes[j]
+		}
+	}
+	f.dirty = false
+}
+
+// lookupRoute returns the best (longest-prefix) route for dst, or nil.
+func (n *Node) lookupRoute(dst netip.Addr) *Link {
+	if n.fib.dirty {
+		n.compileFIB()
+	}
+	if l, ok := n.fib.hosts[dst]; ok {
+		return l
+	}
+	for _, r := range n.fib.prefixes {
+		if r.prefix.Contains(dst) {
+			return r.link
+		}
+	}
+	return nil
+}
+
+// lookupRouteLinear is the seed engine's reference implementation: a
+// linear scan for the longest matching prefix. The FIB property tests
+// assert lookupRoute against it on random topologies.
+func (n *Node) lookupRouteLinear(dst netip.Addr) *Link {
+	best := -1
+	var via *Link
+	for i := range n.routes {
+		r := &n.routes[i]
+		if r.prefix.Contains(dst) && r.prefix.Bits() > best {
+			best = r.prefix.Bits()
+			via = r.link
+		}
+	}
+	return via
+}
+
+// dijkstraScratch holds per-source Dijkstra state, reused across the
+// sources of one BuildRoutes call (and across calls) so route compilation
+// on large topologies doesn't thrash the allocator.
+type dijkstraScratch struct {
+	dist    []float64
+	first   []*Link
+	visited []bool
+	heap    []heapItem // binary heap of (dist, node id); stale entries skipped
+}
+
+type heapItem struct {
+	dist float64
+	id   int
+}
+
+func (d *dijkstraScratch) reset(n int) {
+	if cap(d.dist) < n {
+		d.dist = make([]float64, n)
+		d.first = make([]*Link, n)
+		d.visited = make([]bool, n)
+	}
+	d.dist = d.dist[:n]
+	d.first = d.first[:n]
+	d.visited = d.visited[:n]
+	for i := range d.dist {
+		d.dist[i] = math.Inf(1)
+		d.first[i] = nil
+		d.visited[i] = false
+	}
+	d.heap = d.heap[:0]
+}
+
+func (d *dijkstraScratch) push(it heapItem) {
+	d.heap = append(d.heap, it)
+	i := len(d.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if d.heap[i].dist >= d.heap[p].dist {
+			break
+		}
+		d.heap[i], d.heap[p] = d.heap[p], d.heap[i]
+		i = p
+	}
+}
+
+func (d *dijkstraScratch) pop() heapItem {
+	top := d.heap[0]
+	n := len(d.heap) - 1
+	d.heap[0] = d.heap[n]
+	d.heap = d.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && d.heap[l].dist < d.heap[m].dist {
+			m = l
+		}
+		if r < n && d.heap[r].dist < d.heap[m].dist {
+			m = r
+		}
+		if m == i {
+			return top
+		}
+		d.heap[i], d.heap[m] = d.heap[m], d.heap[i]
+		i = m
+	}
+}
+
+// runDijkstra fills scratch with shortest-path distances and first-hop
+// links from src.
+func (s *Simulator) runDijkstra(src *Node) *dijkstraScratch {
+	d := &s.dijkstra
+	d.reset(len(s.nodeList))
+	d.dist[src.id] = 0
+	d.push(heapItem{0, src.id})
+	for len(d.heap) > 0 {
+		it := d.pop()
+		if d.visited[it.id] {
+			continue
+		}
+		d.visited[it.id] = true
+		cur := s.nodeList[it.id]
+		for _, l := range cur.links {
+			dir := l.dir(cur)
+			if dir == nil {
+				continue
+			}
+			next := l.Peer(cur)
+			nd := it.dist + dir.cfg.cost()
+			if nd < d.dist[next.id] {
+				d.dist[next.id] = nd
+				if cur == src {
+					d.first[next.id] = l
+				} else {
+					d.first[next.id] = d.first[cur.id]
+				}
+				d.push(heapItem{nd, next.id})
+			}
+		}
+	}
+	return d
+}
+
+// BuildRoutes computes shortest-path routes (Dijkstra over link costs)
+// from every node to every node address and anycast group. It REPLACES
+// every node's routing table; call it after the topology is complete and
+// before adding manual prefix routes (AddRoute, InstallPrefixRoutes).
+//
+// Cost is O(nodes * links * log nodes): fine for scenario topologies up
+// to a few thousand nodes. Metro-scale fan-outs should use BuildFanout,
+// which installs hierarchical routes directly in O(hosts).
+func (s *Simulator) BuildRoutes() {
+	for _, src := range s.nodes {
+		d := s.runDijkstra(src)
+		// Install host routes for every reachable node's addresses.
+		src.ClearRoutes()
+		for id, l := range d.first {
+			if l == nil {
+				continue
+			}
+			for _, a := range s.nodeList[id].addrs {
+				src.AddRoute(netip.PrefixFrom(a, a.BitLen()), l)
+			}
+		}
+		// Anycast: route to the nearest member.
+		for aAddr, members := range s.anycast {
+			var bestLink *Link
+			best := math.Inf(1)
+			for _, m := range members {
+				if m == src {
+					bestLink = nil
+					best = 0
+					break
+				}
+				if dm := d.dist[m.id]; dm < best {
+					best = dm
+					bestLink = d.first[m.id]
+				}
+			}
+			if best == 0 && bestLink == nil {
+				continue // src itself serves the anycast address
+			}
+			if bestLink != nil {
+				src.AddRoute(netip.PrefixFrom(aAddr, aAddr.BitLen()), bestLink)
+			}
+		}
+	}
+}
+
+// InstallPrefixRoutes adds, on every node, a route for each given prefix
+// via the same first hop as a representative address inside the prefix.
+// This lets later-allocated addresses (dynamic addresses, spoofed
+// sources) route without rebuilding: the covering prefix matches.
+func (s *Simulator) InstallPrefixRoutes(prefixes ...netip.Prefix) error {
+	for _, p := range prefixes {
+		// Find any node address inside p to copy routing from.
+		var rep netip.Addr
+		found := false
+		for a := range s.byAddr {
+			if p.Contains(a) {
+				rep, found = a, true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("netem: no node address inside prefix %v", p)
+		}
+		for _, n := range s.nodes {
+			if n.HasAddr(rep) || p.Contains(n.Addr()) {
+				continue
+			}
+			if via := n.lookupRoute(rep); via != nil {
+				n.AddRoute(p, via)
+			}
+		}
+	}
+	return nil
+}

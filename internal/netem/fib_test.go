@@ -1,0 +1,195 @@
+package netem
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// randTopology builds a random connected topology: n nodes each with one
+// address, a spanning tree plus extra random links with random costs.
+func randTopology(t *testing.T, rng *rand.Rand, n int) (*Simulator, []*Node) {
+	t.Helper()
+	s := NewSimulator(simStart, rng.Int63())
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		a := netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 1})
+		nodes[i] = s.MustAddNode(fmt.Sprintf("n%d", i), "", a)
+	}
+	link := func(i, j int) {
+		s.Connect(nodes[i], nodes[j], LinkConfig{
+			Delay: time.Duration(1+rng.Intn(20)) * time.Millisecond,
+			Cost:  float64(1 + rng.Intn(100)),
+		})
+	}
+	for i := 1; i < n; i++ {
+		link(rng.Intn(i), i) // spanning tree: connected by construction
+	}
+	for k := 0; k < n/2; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			link(i, j)
+		}
+	}
+	return s, nodes
+}
+
+// TestFIBMatchesLinearReference: on random topologies with random extra
+// prefix routes, the indexed FIB must return exactly what the seed
+// engine's linear longest-prefix scan returns, for every probe address.
+func TestFIBMatchesLinearReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(30)
+		s, nodes := randTopology(t, rng, n)
+		s.BuildRoutes()
+
+		// Sprinkle random broader prefixes (including overlapping and
+		// duplicate lengths) over random nodes.
+		for k := 0; k < 10; k++ {
+			nd := nodes[rng.Intn(n)]
+			if len(nd.links) == 0 {
+				continue
+			}
+			bits := []int{0, 8, 10, 12, 16, 24}[rng.Intn(6)]
+			base := netip.AddrFrom4([4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), 0})
+			p, err := base.Prefix(bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nd.AddRoute(p, nd.links[rng.Intn(len(nd.links))])
+		}
+
+		// Probes: every node address plus random addresses.
+		var probes []netip.Addr
+		for _, nd := range nodes {
+			probes = append(probes, nd.Addr())
+		}
+		for k := 0; k < 50; k++ {
+			probes = append(probes, netip.AddrFrom4([4]byte{
+				byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))}))
+		}
+		for _, nd := range nodes {
+			for _, dst := range probes {
+				got, want := nd.lookupRoute(dst), nd.lookupRouteLinear(dst)
+				if got != want {
+					t.Fatalf("trial %d: node %s dst %v: FIB %p != linear %p",
+						trial, nd.Name, dst, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFIBAnycastNearest: on random topologies with a random anycast
+// group, a packet to the anycast address must reach a member whose
+// Dijkstra distance from the source is minimal.
+func TestFIBAnycastNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	anyAddr := netip.MustParseAddr("10.255.0.1")
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(25)
+		s, nodes := randTopology(t, rng, n)
+		nMembers := 1 + rng.Intn(3)
+		members := map[*Node]bool{}
+		for len(members) < nMembers {
+			m := nodes[rng.Intn(n)]
+			if !members[m] {
+				members[m] = true
+				s.AddAnycast(anyAddr, m)
+			}
+		}
+		s.BuildRoutes()
+
+		var deliveredTo *Node
+		for m := range members {
+			node := m
+			node.SetHandler(func(time.Time, []byte) { deliveredTo = node })
+		}
+		// Reference distances via an independent map-based Dijkstra.
+		for _, src := range nodes {
+			dist := refDijkstra(src)
+			best := math.Inf(1)
+			for m := range members {
+				if d, ok := dist[m]; ok && d < best {
+					best = d
+				}
+			}
+			deliveredTo = nil
+			if err := src.Send(mkUDP(t, src.Addr(), anyAddr, nil)); err != nil {
+				t.Fatalf("trial %d: %s -> anycast: %v", trial, src.Name, err)
+			}
+			s.Run()
+			if deliveredTo == nil {
+				t.Fatalf("trial %d: anycast from %s undelivered", trial, src.Name)
+			}
+			if got := dist[deliveredTo]; got != best {
+				t.Fatalf("trial %d: anycast from %s reached %s at distance %v, nearest is %v",
+					trial, src.Name, deliveredTo.Name, got, best)
+			}
+		}
+	}
+}
+
+// refDijkstra is an independent shortest-path reference (maps and linear
+// extract-min, like the seed implementation).
+func refDijkstra(src *Node) map[*Node]float64 {
+	dist := map[*Node]float64{src: 0}
+	visited := map[*Node]bool{}
+	type nd struct {
+		n *Node
+		d float64
+	}
+	frontier := []nd{{src, 0}}
+	for len(frontier) > 0 {
+		mi := 0
+		for i := range frontier {
+			if frontier[i].d < frontier[mi].d {
+				mi = i
+			}
+		}
+		cur := frontier[mi]
+		frontier = append(frontier[:mi], frontier[mi+1:]...)
+		if visited[cur.n] {
+			continue
+		}
+		visited[cur.n] = true
+		for _, l := range cur.n.links {
+			d := l.dir(cur.n)
+			if d == nil {
+				continue
+			}
+			next := l.Peer(cur.n)
+			v := cur.d + d.cfg.cost()
+			if old, ok := dist[next]; !ok || v < old {
+				dist[next] = v
+				frontier = append(frontier, nd{next, v})
+			}
+		}
+	}
+	return dist
+}
+
+// TestFIBRecompilesAfterRouteChange: routes added after a lookup must be
+// visible (the dirty flag invalidates the compiled FIB).
+func TestFIBRecompilesAfterRouteChange(t *testing.T) {
+	s := NewSimulator(simStart, 1)
+	a := s.MustAddNode("a", "", addr("10.0.0.1"))
+	b := s.MustAddNode("b", "", addr("10.0.1.1"))
+	l := s.Connect(a, b, LinkConfig{Delay: time.Millisecond})
+	dst := addr("10.9.0.1")
+	if a.lookupRoute(dst) != nil {
+		t.Fatal("route before any install")
+	}
+	a.AddRoute(netip.MustParsePrefix("10.9.0.0/16"), l)
+	if a.lookupRoute(dst) != l {
+		t.Fatal("route added after compile not visible")
+	}
+	a.ClearRoutes()
+	if a.lookupRoute(dst) != nil {
+		t.Fatal("cleared route still resolves")
+	}
+}

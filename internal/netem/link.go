@@ -1,37 +1,32 @@
 package netem
 
 import (
-	"fmt"
 	"math"
-	"net/netip"
 	"time"
 )
 
-// QueuedPacket is a packet waiting in a link's egress queue, annotated
-// with the metadata queue disciplines need.
-type QueuedPacket struct {
-	Pkt     []byte
-	DSCP    uint8
-	Size    int
-	Arrived time.Time
-}
-
 // Queue is a link egress queue discipline. FIFO is the default; package
 // diffserv provides DSCP-aware disciplines. Implementations are used from
-// the single-threaded event loop and need no locking.
+// the single-threaded event loop and need no locking. Queues hold pooled
+// packets: a queued *Packet carries one reference, which passes back to
+// the link when Dequeue returns it (a queue that drops a packet it
+// accepted must Release it).
 type Queue interface {
 	// Enqueue accepts a packet or reports it dropped.
-	Enqueue(p *QueuedPacket) bool
+	Enqueue(p *Packet) bool
 	// Dequeue returns the next packet to transmit, or nil if empty.
-	Dequeue() *QueuedPacket
+	Dequeue() *Packet
 	// Len reports queued packets.
 	Len() int
 }
 
-// FIFOQueue is a bounded tail-drop FIFO.
+// FIFOQueue is a bounded tail-drop FIFO backed by a ring buffer, so
+// steady-state enqueue/dequeue never allocates.
 type FIFOQueue struct {
-	q   []*QueuedPacket
-	cap int
+	q    []*Packet
+	head int
+	n    int
+	cap  int
 }
 
 // NewFIFOQueue creates a FIFO with the given capacity (packets).
@@ -39,30 +34,33 @@ func NewFIFOQueue(capacity int) *FIFOQueue {
 	if capacity <= 0 {
 		capacity = 64
 	}
-	return &FIFOQueue{cap: capacity}
+	return &FIFOQueue{q: make([]*Packet, capacity), cap: capacity}
 }
 
 // Enqueue implements Queue.
-func (f *FIFOQueue) Enqueue(p *QueuedPacket) bool {
-	if len(f.q) >= f.cap {
+func (f *FIFOQueue) Enqueue(p *Packet) bool {
+	if f.n >= f.cap {
 		return false
 	}
-	f.q = append(f.q, p)
+	f.q[(f.head+f.n)%f.cap] = p
+	f.n++
 	return true
 }
 
 // Dequeue implements Queue.
-func (f *FIFOQueue) Dequeue() *QueuedPacket {
-	if len(f.q) == 0 {
+func (f *FIFOQueue) Dequeue() *Packet {
+	if f.n == 0 {
 		return nil
 	}
-	p := f.q[0]
-	f.q = f.q[1:]
+	p := f.q[f.head]
+	f.q[f.head] = nil
+	f.head = (f.head + 1) % f.cap
+	f.n--
 	return p
 }
 
 // Len implements Queue.
-func (f *FIFOQueue) Len() int { return len(f.q) }
+func (f *FIFOQueue) Len() int { return f.n }
 
 // LinkConfig describes one direction of a link.
 type LinkConfig struct {
@@ -131,12 +129,29 @@ func (l *Link) Peer(n *Node) *Node {
 
 // SetQueue replaces the egress queue discipline for the direction
 // originating at from (e.g. a DiffServ priority queue at an ISP edge).
+// Packets waiting in the old queue are transferred to the new one in
+// order; any the new discipline refuses are dropped (and released).
 func (l *Link) SetQueue(from *Node, q Queue) error {
 	d := l.dir(from)
 	if d == nil {
 		return ErrNotConnected
 	}
+	old := d.queue
+	if old == q {
+		return nil
+	}
 	d.queue = q
+	for old != nil {
+		p := old.Dequeue()
+		if p == nil {
+			break
+		}
+		if !q.Enqueue(p) {
+			d.dropped++
+			d.sim.emit(TraceDropQueue, from, p.Pkt)
+			p.Release()
+		}
+	}
 	return nil
 }
 
@@ -170,20 +185,23 @@ func (l *Link) dir(from *Node) *linkDir {
 	return nil
 }
 
-// transmit enqueues pkt for transmission from node from across the link.
-func (l *Link) transmit(from *Node, pkt []byte) {
+// transmit enqueues p for transmission from node from across the link,
+// taking ownership of the packet's reference.
+func (l *Link) transmit(from *Node, p *Packet) {
 	d := l.dir(from)
 	if d == nil {
+		p.Release()
 		return
 	}
-	dscp := uint8(0)
-	if len(pkt) >= 2 {
-		dscp = pkt[1] >> 2
+	if len(p.Pkt) >= 2 {
+		p.DSCP = p.Pkt[1] >> 2
 	}
-	qp := &QueuedPacket{Pkt: clone(pkt), DSCP: dscp, Size: len(pkt), Arrived: d.sim.now}
-	if !d.queue.Enqueue(qp) {
+	p.Size = len(p.Pkt)
+	p.Arrived = d.sim.now
+	if !d.queue.Enqueue(p) {
 		d.dropped++
-		d.sim.emit(TraceDropQueue, from, pkt)
+		d.sim.emit(TraceDropQueue, from, p.Pkt)
+		p.Release()
 		return
 	}
 	if !d.busy {
@@ -191,139 +209,27 @@ func (l *Link) transmit(from *Node, pkt []byte) {
 	}
 }
 
-// startTransmission pulls the next packet and schedules its departure and
-// arrival events.
+// startTransmission pulls the next packet and schedules its departure
+// event (a typed event: no closure, no allocation).
 func (d *linkDir) startTransmission() {
-	qp := d.queue.Dequeue()
-	if qp == nil {
+	p := d.queue.Dequeue()
+	if p == nil {
 		d.busy = false
 		return
 	}
 	d.busy = true
 	serialize := time.Duration(0)
 	if d.cfg.RateBps > 0 {
-		sec := float64(qp.Size*8) / d.cfg.RateBps
+		sec := float64(p.Size*8) / d.cfg.RateBps
 		serialize = time.Duration(math.Round(sec * float64(time.Second)))
 	}
-	d.sim.Schedule(serialize, func() {
-		d.sent++
-		// Arrival at the far end after propagation.
-		to := d.to
-		pkt := qp.Pkt
-		d.sim.Schedule(d.cfg.Delay, func() { _ = to.dispatch(pkt, false) })
-		// Line is free; next packet.
-		d.startTransmission()
-	})
+	d.sim.schedule(d.sim.now.Add(serialize), event{kind: evDepart, dir: d, pkt: p})
 }
 
-// BuildRoutes computes shortest-path routes (Dijkstra over link costs)
-// from every node to every node address and anycast group. It REPLACES
-// every node's routing table; call it after the topology is complete and
-// before adding manual prefix routes (AddRoute, InstallPrefixRoutes).
-func (s *Simulator) BuildRoutes() {
-	type nodeDist struct {
-		node *Node
-		dist float64
-	}
-	for _, src := range s.nodes {
-		// Dijkstra from src.
-		dist := map[*Node]float64{src: 0}
-		first := map[*Node]*Link{} // first-hop link from src toward node
-		visited := map[*Node]bool{}
-		frontier := []nodeDist{{src, 0}}
-		for len(frontier) > 0 {
-			// Extract min (linear; topologies are small).
-			mi := 0
-			for i := range frontier {
-				if frontier[i].dist < frontier[mi].dist {
-					mi = i
-				}
-			}
-			cur := frontier[mi]
-			frontier = append(frontier[:mi], frontier[mi+1:]...)
-			if visited[cur.node] {
-				continue
-			}
-			visited[cur.node] = true
-			for _, l := range cur.node.links {
-				d := l.dir(cur.node)
-				if d == nil {
-					continue
-				}
-				next := l.Peer(cur.node)
-				nd := cur.dist + d.cfg.cost()
-				if old, ok := dist[next]; !ok || nd < old {
-					dist[next] = nd
-					if cur.node == src {
-						first[next] = l
-					} else {
-						first[next] = first[cur.node]
-					}
-					frontier = append(frontier, nodeDist{next, nd})
-				}
-			}
-		}
-		// Install host routes for every reachable node's addresses.
-		src.routes = src.routes[:0]
-		for n, l := range first {
-			if l == nil {
-				continue
-			}
-			for _, a := range n.addrs {
-				src.AddRoute(netip.PrefixFrom(a, 32), l)
-			}
-		}
-		// Anycast: route to the nearest member.
-		for aAddr, members := range s.anycast {
-			var bestLink *Link
-			best := math.Inf(1)
-			for _, m := range members {
-				if m == src {
-					bestLink = nil
-					best = 0
-					break
-				}
-				if d, ok := dist[m]; ok && d < best {
-					best = d
-					bestLink = first[m]
-				}
-			}
-			if best == 0 && bestLink == nil {
-				continue // src itself serves the anycast address
-			}
-			if bestLink != nil {
-				src.AddRoute(netip.PrefixFrom(aAddr, 32), bestLink)
-			}
-		}
-	}
-}
-
-// InstallPrefixRoutes adds, on every node, a route for each given prefix
-// via the same first hop as a representative address inside the prefix.
-// This lets later-allocated addresses (dynamic addresses, spoofed
-// sources) route without rebuilding: the covering prefix matches.
-func (s *Simulator) InstallPrefixRoutes(prefixes ...netip.Prefix) error {
-	for _, p := range prefixes {
-		// Find any node address inside p to copy routing from.
-		var rep netip.Addr
-		found := false
-		for a := range s.byAddr {
-			if p.Contains(a) {
-				rep, found = a, true
-				break
-			}
-		}
-		if !found {
-			return fmt.Errorf("netem: no node address inside prefix %v", p)
-		}
-		for _, n := range s.nodes {
-			if n.HasAddr(rep) || p.Contains(n.Addr()) {
-				continue
-			}
-			if via := n.lookupRoute(rep); via != nil {
-				n.AddRoute(p, via)
-			}
-		}
-	}
-	return nil
+// depart completes a serialization: the line is free for the next packet
+// and p arrives at the far end after propagation.
+func (d *linkDir) depart(p *Packet) {
+	d.sent++
+	d.sim.schedule(d.sim.now.Add(d.cfg.Delay), event{kind: evArrive, node: d.to, pkt: p})
+	d.startTransmission()
 }

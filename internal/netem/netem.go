@@ -1,11 +1,21 @@
 // Package netem is a deterministic discrete-event network emulator: the
 // substrate standing in for the paper's testbed and for the Internet
-// topology of its Figure 1.
+// topology of its Figure 1, scaled so that metro-sized scenarios (tens of
+// thousands of customer hosts behind one neutralizer domain) run in
+// seconds.
 //
-// A Simulator owns a virtual clock and an event heap. Nodes (hosts and
-// routers) are connected by Links with propagation delay, transmission
-// rate and bounded egress queues. Routing tables are computed with
-// Dijkstra over link costs; anycast groups resolve to the nearest member,
+// A Simulator owns a virtual clock and a slice-backed heap of typed
+// events; the hot-path events (link departure/arrival, policy delay)
+// carry their operands inline, so forwarding a packet allocates nothing
+// in steady state. Packets are pooled, refcounted buffers (Packet) that
+// cross the whole path — links, transit hooks, handlers — without per-hop
+// copies. Nodes (hosts and routers) are connected by Links with
+// propagation delay, transmission rate and bounded egress queues. Each
+// node's route list is compiled into an indexed FIB (exact-match map for
+// host routes plus a longest-prefix table) the first time it is used
+// after a topology change. Routing tables are computed with Dijkstra over
+// link costs (BuildRoutes) or stamped out hierarchically by the Topology
+// builder (BuildFanout); anycast groups resolve to the nearest member,
 // which is how the neutralizer's anycast address is modelled. Transit
 // hooks let middle networks (the discriminatory ISPs of package isp)
 // observe, delay, or drop packets in flight, and trace hooks feed the
@@ -17,7 +27,6 @@
 package netem
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -52,11 +61,15 @@ type Verdict struct {
 var Deliver = Verdict{}
 
 // TransitHook inspects a packet crossing a node. Hooks run on every
-// packet a node receives, before local delivery or forwarding. The hook
-// may read pkt but must not retain it past the call.
+// packet a node receives, before local delivery or forwarding. pkt is a
+// no-copy view of the pooled buffer: the hook may read (and remark) it
+// but must not retain it past the call — the buffer is recycled as soon
+// as the packet's journey ends.
 type TransitHook func(now time.Time, node *Node, pkt []byte) Verdict
 
-// Handler consumes packets locally delivered to a node.
+// Handler consumes packets locally delivered to a node. pkt is a no-copy
+// view of the pooled buffer, valid only for the duration of the call;
+// copy it (bytes.Clone) to keep it.
 type Handler func(now time.Time, pkt []byte)
 
 // TraceKind labels trace events.
@@ -102,23 +115,30 @@ type TraceEvent struct {
 	Pkt  []byte
 }
 
-// TraceHook observes packet events. It must not retain Pkt.
+// TraceHook observes packet events. Pkt is a no-copy view; it must not be
+// retained past the call.
 type TraceHook func(ev TraceEvent)
 
 // Simulator is the discrete-event engine. Create with NewSimulator.
 type Simulator struct {
 	now    time.Time
 	seq    uint64
-	events eventHeap
+	events eventQueue
+	pool   packetPool
 	rng    *rand.Rand
 
-	nodes   map[string]*Node
-	byAddr  map[netip.Addr]*Node
-	anycast map[netip.Addr][]*Node
-	traces  []TraceHook
+	nodes    map[string]*Node
+	nodeList []*Node
+	byAddr   map[netip.Addr]*Node
+	anycast  map[netip.Addr][]*Node
+	traces   []TraceHook
 
+	eventsRun        uint64
 	packetsDelivered uint64
+	packetsForwarded uint64
 	packetsDropped   uint64
+
+	dijkstra dijkstraScratch
 }
 
 // NewSimulator creates a simulator whose clock starts at start and whose
@@ -143,10 +163,12 @@ func (s *Simulator) Rand() *rand.Rand { return s.rng }
 func (s *Simulator) Trace(h TraceHook) { s.traces = append(s.traces, h) }
 
 func (s *Simulator) emit(kind TraceKind, node *Node, pkt []byte) {
-	if kind == TraceDeliver {
+	switch {
+	case kind == TraceDeliver:
 		s.packetsDelivered++
-	}
-	if kind >= TraceDropQueue {
+	case kind == TraceForward:
+		s.packetsForwarded++
+	case kind >= TraceDropQueue:
 		s.packetsDropped++
 	}
 	for _, h := range s.traces {
@@ -154,46 +176,50 @@ func (s *Simulator) emit(kind TraceKind, node *Node, pkt []byte) {
 	}
 }
 
-// Delivered and Dropped report global packet counters.
+// Delivered reports packets locally delivered anywhere in the network.
 func (s *Simulator) Delivered() uint64 { return s.packetsDelivered }
+
+// Forwarded reports router forwarding decisions (one per transit hop).
+func (s *Simulator) Forwarded() uint64 { return s.packetsForwarded }
 
 // Dropped reports the number of packets dropped anywhere in the network.
 func (s *Simulator) Dropped() uint64 { return s.packetsDropped }
+
+// EventsProcessed reports how many events the loop has run; with wall
+// time it yields the sim-events/sec figure the scale experiments report.
+func (s *Simulator) EventsProcessed() uint64 { return s.eventsRun }
 
 // Schedule runs fn after d of virtual time.
 func (s *Simulator) Schedule(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	s.seq++
-	heap.Push(&s.events, &event{at: s.now.Add(d), seq: s.seq, fn: fn})
+	s.schedule(s.now.Add(d), event{kind: evFunc, fn: fn})
 }
 
 // ScheduleAt runs fn at absolute virtual time t (clamped to now).
 func (s *Simulator) ScheduleAt(t time.Time, fn func()) {
-	if t.Before(s.now) {
-		t = s.now
-	}
-	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	s.schedule(t, event{kind: evFunc, fn: fn})
 }
 
 // Run processes events until the queue is empty.
 func (s *Simulator) Run() {
-	for len(s.events) > 0 {
-		ev := heap.Pop(&s.events).(*event)
+	for s.events.len() > 0 {
+		ev := s.events.pop()
 		s.now = ev.at
-		ev.fn()
+		s.eventsRun++
+		s.dispatchEvent(&ev)
 	}
 }
 
 // RunUntil processes events with timestamps <= t, then advances the clock
 // to t.
 func (s *Simulator) RunUntil(t time.Time) {
-	for len(s.events) > 0 && !s.events[0].at.After(t) {
-		ev := heap.Pop(&s.events).(*event)
+	for s.events.len() > 0 && !s.events.h[0].at.After(t) {
+		ev := s.events.pop()
 		s.now = ev.at
-		ev.fn()
+		s.eventsRun++
+		s.dispatchEvent(&ev)
 	}
 	if s.now.Before(t) {
 		s.now = t
@@ -203,26 +229,8 @@ func (s *Simulator) RunUntil(t time.Time) {
 // RunFor advances the simulation by d.
 func (s *Simulator) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
 
-type event struct {
-	at  time.Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if !h[i].at.Equal(h[j].at) {
-		return h[i].at.Before(h[j].at)
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)         { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any           { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) Peek() *event        { return h[0] }
-func (s *Simulator) PendingEvents() int { return len(s.events) }
+// PendingEvents reports events waiting in the queue.
+func (s *Simulator) PendingEvents() int { return s.events.len() }
 
 // Node is a host or router in the emulated network.
 type Node struct {
@@ -232,16 +240,13 @@ type Node struct {
 	Domain string
 
 	sim     *Simulator
+	id      int
 	addrs   []netip.Addr
 	links   []*Link
 	routes  []route
+	fib     fib
 	handler Handler
 	hooks   []TransitHook
-}
-
-type route struct {
-	prefix netip.Prefix
-	link   *Link
 }
 
 // AddNode creates a node with the given unique name and addresses.
@@ -249,7 +254,7 @@ func (s *Simulator) AddNode(name, domain string, addrs ...netip.Addr) (*Node, er
 	if _, dup := s.nodes[name]; dup {
 		return nil, fmt.Errorf("netem: duplicate node name %q", name)
 	}
-	n := &Node{Name: name, Domain: domain, sim: s}
+	n := &Node{Name: name, Domain: domain, sim: s, id: len(s.nodeList)}
 	for _, a := range addrs {
 		if _, dup := s.byAddr[a]; dup {
 			return nil, fmt.Errorf("%w: %v", ErrAddrInUse, a)
@@ -260,6 +265,7 @@ func (s *Simulator) AddNode(name, domain string, addrs ...netip.Addr) (*Node, er
 		n.addrs = append(n.addrs, a)
 	}
 	s.nodes[name] = n
+	s.nodeList = append(s.nodeList, n)
 	return n, nil
 }
 
@@ -277,6 +283,9 @@ func (s *Simulator) Node(name string) *Node { return s.nodes[name] }
 
 // NodeByAddr returns the node owning addr, or nil.
 func (s *Simulator) NodeByAddr(a netip.Addr) *Node { return s.byAddr[a] }
+
+// NodeCount reports how many nodes the simulator holds.
+func (s *Simulator) NodeCount() int { return len(s.nodeList) }
 
 // AddAnycast registers addr as an anycast address served by the given
 // nodes. Routing resolves it to the nearest member.
@@ -344,84 +353,82 @@ func (n *Node) SetHandler(h Handler) { n.handler = h }
 // AddTransitHook installs a hook run on every packet the node receives.
 func (n *Node) AddTransitHook(h TransitHook) { n.hooks = append(n.hooks, h) }
 
-// AddRoute installs a static prefix route through the given link.
-func (n *Node) AddRoute(prefix netip.Prefix, l *Link) {
-	n.routes = append(n.routes, route{prefix: prefix, link: l})
-}
-
-// lookupRoute returns the best (longest-prefix) route for dst, or nil.
-func (n *Node) lookupRoute(dst netip.Addr) *Link {
-	best := -1
-	var via *Link
-	for i := range n.routes {
-		r := &n.routes[i]
-		if r.prefix.Contains(dst) && r.prefix.Bits() > best {
-			best = r.prefix.Bits()
-			via = r.link
-		}
-	}
-	return via
-}
-
 // Send originates a packet from node n. The packet must be a serialized
-// IPv4 datagram. Returns ErrNoRoute if the destination is unreachable.
+// IPv4 datagram; it is copied into a pooled buffer (the one copy of its
+// journey). Returns ErrNoRoute if the destination is unreachable.
 func (n *Node) Send(pkt []byte) error {
 	if len(pkt) < wire.IPv4HeaderLen {
 		return ErrMalformedIPv4
 	}
-	n.sim.emit(TraceSend, n, pkt)
-	return n.dispatch(pkt, true)
+	return n.SendPacket(n.sim.NewPacket(pkt))
+}
+
+// SendPacket originates a pooled packet from node n, taking ownership of
+// one reference (the packet is released on error, drop, or delivery).
+// Callers with a template packet avoid Send's intermediate []byte:
+//
+//	_ = node.SendPacket(sim.NewPacket(template))
+func (n *Node) SendPacket(p *Packet) error {
+	if len(p.Pkt) < wire.IPv4HeaderLen {
+		p.Release()
+		return ErrMalformedIPv4
+	}
+	n.sim.emit(TraceSend, n, p.Pkt)
+	return n.dispatch(p, true)
 }
 
 // dispatch delivers locally or forwards toward the destination. origin
 // marks packets sent by this node itself (no transit hooks, no TTL work).
-func (n *Node) dispatch(pkt []byte, origin bool) error {
-	if _, _, err := wire.IPv4Addrs(pkt); err != nil {
+// dispatch owns p: every exit path releases it or hands it on.
+func (n *Node) dispatch(p *Packet, origin bool) error {
+	if _, _, err := wire.IPv4Addrs(p.Pkt); err != nil {
+		p.Release()
 		return ErrMalformedIPv4
 	}
 	if !origin {
 		// Transit/ingress policy.
 		var delay time.Duration
 		for _, h := range n.hooks {
-			v := h(n.sim.now, n, pkt)
+			v := h(n.sim.now, n, p.Pkt)
 			if v.Drop {
-				n.sim.emit(TraceDropPolicy, n, pkt)
+				n.sim.emit(TraceDropPolicy, n, p.Pkt)
+				p.Release()
 				return nil
 			}
 			if v.Delay > delay {
 				delay = v.Delay
 			}
 			if v.DSCP != nil {
-				remarkDSCP(pkt, *v.DSCP)
+				remarkDSCP(p.Pkt, *v.DSCP)
 			}
 		}
 		if delay > 0 {
-			cp := clone(pkt)
-			n.sim.Schedule(delay, func() { _ = n.dispatchAfterPolicy(cp, false) })
+			n.sim.schedule(n.sim.now.Add(delay), event{kind: evDelayed, node: n, pkt: p})
 			return nil
 		}
 	}
-	return n.dispatchAfterPolicy(pkt, origin)
+	return n.dispatchAfterPolicy(p, origin)
 }
 
 // dispatchAfterPolicy completes local delivery or forwarding once policy
 // hooks have run. origin marks packets originated by this node, which are
 // not TTL-decremented and do not count as forwarding.
-func (n *Node) dispatchAfterPolicy(pkt []byte, origin bool) error {
-	_, dst, err := wire.IPv4Addrs(pkt)
+func (n *Node) dispatchAfterPolicy(p *Packet, origin bool) error {
+	_, dst, err := wire.IPv4Addrs(p.Pkt)
 	if err != nil {
+		p.Release()
 		return ErrMalformedIPv4
 	}
 	// Local unicast delivery?
 	if n.HasAddr(dst) {
-		n.deliver(pkt)
+		n.deliver(p)
 		return nil
 	}
 	// Local anycast delivery?
 	if members := n.sim.anycast[dst]; len(members) > 0 {
 		for _, m := range members {
 			if m == n {
-				n.deliver(pkt)
+				n.deliver(p)
 				return nil
 			}
 		}
@@ -429,29 +436,35 @@ func (n *Node) dispatchAfterPolicy(pkt []byte, origin bool) error {
 	// Forward.
 	link := n.lookupRoute(dst)
 	if link == nil {
-		n.sim.emit(TraceDropNoRoute, n, pkt)
+		n.sim.emit(TraceDropNoRoute, n, p.Pkt)
+		p.Release()
 		return ErrNoRoute
 	}
 	if !origin {
-		alive, err := wire.DecrementTTL(pkt)
+		alive, err := wire.DecrementTTL(p.Pkt)
 		if err != nil {
+			p.Release()
 			return ErrMalformedIPv4
 		}
 		if !alive {
-			n.sim.emit(TraceDropTTL, n, pkt)
+			n.sim.emit(TraceDropTTL, n, p.Pkt)
+			p.Release()
 			return ErrTTLExhausted
 		}
-		n.sim.emit(TraceForward, n, pkt)
+		n.sim.emit(TraceForward, n, p.Pkt)
 	}
-	link.transmit(n, pkt)
+	link.transmit(n, p)
 	return nil
 }
 
-func (n *Node) deliver(pkt []byte) {
-	n.sim.emit(TraceDeliver, n, pkt)
+// deliver hands the packet to the local handler, then releases the
+// buffer: handler views are only valid during the call.
+func (n *Node) deliver(p *Packet) {
+	n.sim.emit(TraceDeliver, n, p.Pkt)
 	if n.handler != nil {
-		n.handler(n.sim.now, pkt)
+		n.handler(n.sim.now, p.Pkt)
 	}
+	p.Release()
 }
 
 func remarkDSCP(pkt []byte, dscp uint8) {
@@ -467,10 +480,4 @@ func remarkDSCP(pkt []byte, dscp uint8) {
 	pkt[10], pkt[11] = 0, 0
 	ck := wire.Checksum(pkt[:ihl])
 	pkt[10], pkt[11] = byte(ck>>8), byte(ck)
-}
-
-func clone(b []byte) []byte {
-	c := make([]byte, len(b))
-	copy(c, b)
-	return c
 }

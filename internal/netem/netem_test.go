@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"bytes"
 	"net/netip"
 	"testing"
 	"time"
@@ -75,7 +76,8 @@ func TestDirectLinkDelivery(t *testing.T) {
 
 	var deliveredAt time.Time
 	var got []byte
-	b.SetHandler(func(now time.Time, pkt []byte) { deliveredAt = now; got = pkt })
+	// Handlers get a view of the pooled buffer: clone to keep it.
+	b.SetHandler(func(now time.Time, pkt []byte) { deliveredAt = now; got = bytes.Clone(pkt) })
 
 	pkt := mkUDP(t, addr("10.0.0.1"), addr("10.0.0.2"), []byte("hi"))
 	if err := a.Send(pkt); err != nil {
@@ -156,7 +158,7 @@ func TestMultiHopRoutingAndTTL(t *testing.T) {
 	s.BuildRoutes()
 
 	var got []byte
-	b.SetHandler(func(_ time.Time, pkt []byte) { got = pkt })
+	b.SetHandler(func(_ time.Time, pkt []byte) { got = bytes.Clone(pkt) })
 	if err := a.Send(mkUDP(t, addr("10.0.0.1"), addr("10.0.1.1"), []byte("x"))); err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +298,7 @@ func TestTransitHookRemarkDSCP(t *testing.T) {
 		return Verdict{DSCP: &low}
 	})
 	var got []byte
-	b.SetHandler(func(_ time.Time, pkt []byte) { got = pkt })
+	b.SetHandler(func(_ time.Time, pkt []byte) { got = bytes.Clone(pkt) })
 	_ = a.Send(mkUDP(t, addr("10.0.0.1"), addr("10.0.1.1"), nil))
 	s.Run()
 	if got == nil {

@@ -1,0 +1,135 @@
+package netem
+
+import (
+	"fmt"
+	"time"
+)
+
+// Packet is a pooled, refcounted packet buffer. One Packet travels the
+// whole emulated path — origination, link queues, transit hooks, local
+// delivery — without per-hop copies; when its last reference is released
+// it returns to the simulator's pool for reuse.
+//
+// Ownership rules:
+//   - Node.SendPacket and Link queues take ownership (one reference).
+//   - TransitHook, Handler and TraceHook callbacks receive a []byte view
+//     of the buffer that is valid only for the duration of the call; to
+//     keep the bytes longer, copy them (bytes.Clone).
+//   - Code that holds a *Packet itself (queue disciplines, generators
+//     passing buffers to SendPacket) uses Retain/Release to extend or
+//     end its lifetime.
+//   - Simulator.SetPoolDebug(true) poisons released buffers so a
+//     retained-slice bug reads 0xDD garbage instead of silently aliasing
+//     a recycled packet (see TestPacketPoolPoisonsReleasedBuffers).
+type Packet struct {
+	// Pkt is the serialized IPv4 datagram: a window into the pooled
+	// backing buffer. Never append to it or store it past a callback.
+	Pkt []byte
+	// DSCP caches the packet's DSCP at enqueue time for queue
+	// disciplines (package diffserv).
+	DSCP uint8
+	// Size is len(Pkt), kept for queue disciplines.
+	Size int
+	// Arrived is when the packet entered its current egress queue.
+	Arrived time.Time
+
+	buf  []byte // full-capacity backing array
+	refs int32
+	pool *packetPool
+}
+
+// QueuedPacket is the historical name for a packet sitting in a link
+// egress queue; queue disciplines operate on the pooled Packet directly.
+type QueuedPacket = Packet
+
+// Retain adds a reference, keeping the buffer alive past the current
+// callback. Pair every Retain with a Release.
+func (p *Packet) Retain() *Packet {
+	if p.pool != nil {
+		p.refs++
+	}
+	return p
+}
+
+// Release drops one reference; at zero the buffer returns to the pool.
+// Packets not obtained from a pool (zero-value literals in tests and
+// queue benchmarks) ignore Release.
+func (p *Packet) Release() {
+	if p.pool == nil {
+		return
+	}
+	p.refs--
+	switch {
+	case p.refs > 0:
+	case p.refs == 0:
+		p.pool.put(p)
+	default:
+		panic(fmt.Sprintf("netem: Packet released %d times past zero", -p.refs))
+	}
+}
+
+// packetPool is a freelist of Packets. The event loop is single-threaded,
+// so no locking is needed; buffers are reused most-recently-freed-first
+// for cache locality.
+type packetPool struct {
+	free  []*Packet
+	debug bool
+
+	allocated uint64 // buffers ever created
+	gets      uint64 // checkouts (hits + misses)
+}
+
+const poisonByte = 0xDD
+
+// get returns a packet with an n-byte Pkt window, contents undefined.
+func (pp *packetPool) get(n int) *Packet {
+	pp.gets++
+	var p *Packet
+	if k := len(pp.free); k > 0 {
+		p = pp.free[k-1]
+		pp.free = pp.free[:k-1]
+	} else {
+		pp.allocated++
+		p = &Packet{pool: pp}
+	}
+	if cap(p.buf) < n {
+		p.buf = make([]byte, n+64) // headroom to absorb jittering sizes
+	}
+	p.Pkt = p.buf[:n]
+	p.Size = n
+	p.DSCP = 0
+	p.refs = 1
+	return p
+}
+
+// put returns a packet to the freelist, poisoning it first in debug mode
+// so retained views are caught rather than silently reading recycled
+// data.
+func (pp *packetPool) put(p *Packet) {
+	if pp.debug {
+		for i := range p.Pkt {
+			p.Pkt[i] = poisonByte
+		}
+	}
+	p.Pkt = nil
+	pp.free = append(pp.free, p)
+}
+
+// SetPoolDebug toggles poisoning of released packet buffers. Enable it in
+// tests that must prove no hook or handler retains a buffer view past its
+// call.
+func (s *Simulator) SetPoolDebug(on bool) { s.pool.debug = on }
+
+// NewPacket checks a buffer out of the simulator's pool and copies b into
+// it: the one copy a packet pays at origination.
+func (s *Simulator) NewPacket(b []byte) *Packet {
+	p := s.pool.get(len(b))
+	copy(p.Pkt, b)
+	return p
+}
+
+// PoolStats reports how many packet buffers were ever allocated versus
+// checked out; a steady-state run re-checks out the same few buffers.
+func (s *Simulator) PoolStats() (allocated, gets uint64) {
+	return s.pool.allocated, s.pool.gets
+}

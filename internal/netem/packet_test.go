@@ -1,0 +1,187 @@
+package netem
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestPacketPoolReuse: forwarding the same traffic twice must reuse the
+// pooled buffers rather than allocating fresh ones.
+func TestPacketPoolReuse(t *testing.T) {
+	s := NewSimulator(simStart, 1)
+	a := s.MustAddNode("a", "", addr("10.0.0.1"))
+	b := s.MustAddNode("b", "", addr("10.0.0.2"))
+	s.Connect(a, b, LinkConfig{Delay: time.Millisecond})
+	s.BuildRoutes()
+	b.SetHandler(func(time.Time, []byte) {})
+	pkt := mkUDP(t, addr("10.0.0.1"), addr("10.0.0.2"), make([]byte, 64))
+
+	for i := 0; i < 50; i++ {
+		if err := a.Send(pkt); err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+	}
+	allocated, gets := s.PoolStats()
+	if gets != 50 {
+		t.Fatalf("gets = %d, want 50", gets)
+	}
+	if allocated > 2 {
+		t.Errorf("allocated %d buffers for sequential sends, want <= 2 (pool not reusing)", allocated)
+	}
+}
+
+// TestPacketPoolPoisonsReleasedBuffers is the pool-lifetime contract
+// test: a handler (or transit hook) that retains its packet view past the
+// call must observe poisoned bytes in debug mode, not silently alias a
+// recycled buffer. Run under -race like the rest of the suite; the event
+// loop is single-threaded so the detector also proves no hidden sharing.
+func TestPacketPoolPoisonsReleasedBuffers(t *testing.T) {
+	s := NewSimulator(simStart, 1)
+	s.SetPoolDebug(true)
+	a := s.MustAddNode("a", "", addr("10.0.0.1"))
+	r := s.MustAddNode("r", "evil", addr("10.0.0.254"))
+	b := s.MustAddNode("b", "", addr("10.0.1.1"))
+	s.Connect(a, r, LinkConfig{Delay: time.Millisecond})
+	s.Connect(r, b, LinkConfig{Delay: time.Millisecond})
+	s.BuildRoutes()
+
+	var retainedByHook, retainedByHandler []byte
+	r.AddTransitHook(func(_ time.Time, _ *Node, pkt []byte) Verdict {
+		retainedByHook = pkt // BUG under test: retained past the call
+		return Deliver
+	})
+	b.SetHandler(func(_ time.Time, pkt []byte) {
+		retainedByHandler = pkt // BUG under test: retained past the call
+	})
+
+	payload := bytes.Repeat([]byte{0xAB}, 64)
+	if err := a.Send(mkUDP(t, addr("10.0.0.1"), addr("10.0.1.1"), payload)); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+
+	for name, view := range map[string][]byte{
+		"transit hook": retainedByHook, "handler": retainedByHandler,
+	} {
+		if view == nil {
+			t.Fatalf("%s never saw the packet", name)
+		}
+		for i, c := range view {
+			if c != poisonByte {
+				t.Fatalf("%s retained a live view: byte %d = %#x, want %#x poison",
+					name, i, c, poisonByte)
+			}
+		}
+	}
+}
+
+// TestPacketRetainKeepsBufferAlive: the sanctioned way to hold a packet
+// past the callback.
+func TestPacketRetainKeepsBufferAlive(t *testing.T) {
+	s := NewSimulator(simStart, 1)
+	s.SetPoolDebug(true)
+	payload := []byte{1, 2, 3, 4}
+	p := s.NewPacket(payload)
+	p.Retain()
+	p.Release() // first owner done; retained reference keeps it alive
+	if !bytes.Equal(p.Pkt, payload) {
+		t.Fatalf("retained packet poisoned early: %v", p.Pkt)
+	}
+	p.Release()
+	if p.Pkt != nil {
+		t.Error("fully released packet should drop its view")
+	}
+}
+
+func TestPacketDoubleReleasePanics(t *testing.T) {
+	s := NewSimulator(simStart, 1)
+	p := s.NewPacket([]byte{1})
+	p.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("double release did not panic")
+		}
+	}()
+	p.Release()
+}
+
+// TestPolicyDelayNoCopy: a delayed packet resumes with the same pooled
+// buffer (the seed engine cloned here).
+func TestPolicyDelayNoCopy(t *testing.T) {
+	s := NewSimulator(simStart, 1)
+	a := s.MustAddNode("a", "", addr("10.0.0.1"))
+	r := s.MustAddNode("r", "evil", addr("10.0.0.254"))
+	b := s.MustAddNode("b", "", addr("10.0.1.1"))
+	s.Connect(a, r, LinkConfig{Delay: time.Millisecond})
+	s.Connect(r, b, LinkConfig{Delay: time.Millisecond})
+	s.BuildRoutes()
+	r.AddTransitHook(func(time.Time, *Node, []byte) Verdict {
+		return Verdict{Delay: 50 * time.Millisecond}
+	})
+	delivered := false
+	b.SetHandler(func(time.Time, []byte) { delivered = true })
+	_ = a.Send(mkUDP(t, addr("10.0.0.1"), addr("10.0.1.1"), make([]byte, 32)))
+	s.Run()
+	if !delivered {
+		t.Fatal("delayed packet lost")
+	}
+	if allocated, _ := s.PoolStats(); allocated > 1 {
+		t.Errorf("delay path allocated %d buffers, want 1 (no clone)", allocated)
+	}
+}
+
+// TestSetQueueTransfersQueuedPackets: swapping the queue discipline
+// mid-simulation must carry waiting packets over (or drop-and-release
+// what the new discipline refuses) — never leak pooled buffers.
+func TestSetQueueTransfersQueuedPackets(t *testing.T) {
+	s := NewSimulator(simStart, 1)
+	a := s.MustAddNode("a", "", addr("10.0.0.1"))
+	b := s.MustAddNode("b", "", addr("10.0.0.2"))
+	// Slow link so a burst queues up behind the first transmission.
+	l := s.Connect(a, b, LinkConfig{Delay: time.Millisecond, RateBps: 1e4, QueueLen: 8})
+	s.BuildRoutes()
+	n := 0
+	b.SetHandler(func(time.Time, []byte) { n++ })
+	pkt := mkUDP(t, addr("10.0.0.1"), addr("10.0.0.2"), make([]byte, 100))
+	for i := 0; i < 6; i++ {
+		_ = a.Send(pkt)
+	}
+	if got := l.QueueLen(a); got != 5 {
+		t.Fatalf("queued = %d, want 5", got)
+	}
+	// Swap to a smaller queue: 2 transfer, 3 are dropped and released.
+	small := NewFIFOQueue(2)
+	if err := l.SetQueue(a, small); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.QueueLen(a); got != 2 {
+		t.Fatalf("after swap queued = %d, want 2", got)
+	}
+	// Idempotent re-install of the same queue must be a no-op, not a
+	// self-transfer livelock.
+	if err := l.SetQueue(a, small); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.QueueLen(a); got != 2 {
+		t.Fatalf("after idempotent swap queued = %d, want 2", got)
+	}
+	s.Run()
+	if n != 3 {
+		t.Errorf("delivered %d, want 3 (1 in flight + 2 transferred)", n)
+	}
+	if _, dropped := l.Stats(a); dropped != 3 {
+		t.Errorf("dropped = %d, want 3", dropped)
+	}
+	// No leak: every checked-out buffer came back to the pool.
+	s.SetPoolDebug(true)
+	allocated, gets := s.PoolStats()
+	if gets != 6 || allocated > 6 {
+		t.Errorf("pool stats allocated=%d gets=%d", allocated, gets)
+	}
+	free := len(s.pool.free)
+	if free != int(allocated) {
+		t.Errorf("pool free=%d, want %d (leaked %d buffers)", free, allocated, int(allocated)-free)
+	}
+}

@@ -1,0 +1,179 @@
+package netem
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// FanoutSpec parameterizes the canonical paper topology at scale: outside
+// users reach a supportive ISP through a discriminatory transit network;
+// behind the supportive ISP's border (where the neutralizer and its
+// anycast address live) an edge tier fans out to N customer hosts.
+//
+//	outside[i] ── transit ── border ──┬── edge0 ──┬── host0
+//	                        (anycast) │           ├── host1 …
+//	                                  └── edge1 ──┴── …
+//
+// The builder installs hierarchical routes directly — hosts default
+// upward, routers hold host routes for their own subtree plus a default —
+// so stamping out a 10k-host metro costs O(hosts), not the
+// O(n·m·log n) of a global BuildRoutes.
+type FanoutSpec struct {
+	// Hosts is the number of customer hosts (N; tens of thousands OK).
+	Hosts int
+	// HostsPerEdge bounds the fan-out of one edge router (default 256).
+	HostsPerEdge int
+	// Outside is the number of outside user nodes (default 1).
+	Outside int
+	// Anycast is the neutralizer service address announced at the border
+	// (default 10.200.0.1).
+	Anycast netip.Addr
+	// HostLink, EdgeLink, TransitLink, OutsideLink configure the
+	// host-edge, edge-border, border-transit and transit-outside links.
+	// Zero values mean 1ms delay, infinite rate, default queue.
+	HostLink, EdgeLink, TransitLink, OutsideLink LinkConfig
+}
+
+// Fanout is a built fan-out topology with handles to every tier.
+type Fanout struct {
+	Sim  *Simulator
+	Spec FanoutSpec
+
+	// Border is the supportive ISP's border router: the anycast member
+	// where experiments attach the neutralizer.
+	Border *Node
+	// Transit is the discriminatory middle network's router: where
+	// experiments attach isp policies and eavesdroppers.
+	Transit *Node
+	Outside []*Node
+	Edges   []*Node
+	Hosts   []*Node
+
+	// CustomerNet covers every host address (the supportive ISP's block).
+	CustomerNet netip.Prefix
+	// OutsideNet covers every outside user address.
+	OutsideNet netip.Prefix
+}
+
+// Fan-out addressing plan: hosts get consecutive addresses in
+// 10.64.0.0/10 (room for ~4M), outside users in 172.16.0.0/12.
+var (
+	fanoutCustomerNet = netip.MustParsePrefix("10.64.0.0/10")
+	fanoutOutsideNet  = netip.MustParsePrefix("172.16.0.0/12")
+	fanoutAnycast     = netip.MustParseAddr("10.200.0.1")
+	defaultRoute      = netip.MustParsePrefix("0.0.0.0/0")
+)
+
+func addrAt(base netip.Prefix, i int) netip.Addr {
+	v := ipv4ToUint(base.Addr()) + 1 + uint32(i)
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+func ipv4ToUint(a netip.Addr) uint32 {
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func defaultLink(c LinkConfig) LinkConfig {
+	if c == (LinkConfig{}) {
+		return LinkConfig{Delay: time.Millisecond}
+	}
+	return c
+}
+
+// HostAddr returns the address of customer host i.
+func (f *Fanout) HostAddr(i int) netip.Addr { return addrAt(f.CustomerNet, i) }
+
+// OutsideAddr returns the address of outside user i.
+func (f *Fanout) OutsideAddr(i int) netip.Addr { return addrAt(f.OutsideNet, i) }
+
+// BuildFanout stamps the fan-out topology onto sim. Call it on a fresh
+// simulator: it assumes the address plan above is unclaimed.
+func BuildFanout(sim *Simulator, spec FanoutSpec) (*Fanout, error) {
+	if spec.Hosts <= 0 {
+		return nil, fmt.Errorf("netem: fanout needs at least 1 host, got %d", spec.Hosts)
+	}
+	if spec.HostsPerEdge <= 0 {
+		spec.HostsPerEdge = 256
+	}
+	if spec.Outside <= 0 {
+		spec.Outside = 1
+	}
+	if !spec.Anycast.IsValid() {
+		spec.Anycast = fanoutAnycast
+	}
+	if uint64(spec.Hosts) >= uint64(1)<<(32-uint(fanoutCustomerNet.Bits())) {
+		return nil, fmt.Errorf("netem: %d hosts exceed %v", spec.Hosts, fanoutCustomerNet)
+	}
+
+	f := &Fanout{
+		Sim:         sim,
+		Spec:        spec,
+		CustomerNet: fanoutCustomerNet,
+		OutsideNet:  fanoutOutsideNet,
+	}
+	border, err := sim.AddNode("border", "supportive")
+	if err != nil {
+		return nil, err
+	}
+	transit, err := sim.AddNode("transit", "transit")
+	if err != nil {
+		return nil, err
+	}
+	f.Border, f.Transit = border, transit
+	upLink := sim.Connect(transit, border, defaultLink(spec.TransitLink))
+	border.AddRoute(defaultRoute, upLink)
+	transit.AddRoute(f.CustomerNet, upLink)
+	transit.AddRoute(netip.PrefixFrom(spec.Anycast, spec.Anycast.BitLen()), upLink)
+	sim.AddAnycast(spec.Anycast, border)
+
+	for o := 0; o < spec.Outside; o++ {
+		out, err := sim.AddNode(fmt.Sprintf("outside%d", o), "outside", f.OutsideAddr(o))
+		if err != nil {
+			return nil, err
+		}
+		l := sim.Connect(out, transit, defaultLink(spec.OutsideLink))
+		out.AddRoute(defaultRoute, l)
+		transit.AddRoute(netip.PrefixFrom(out.Addr(), 32), l)
+		f.Outside = append(f.Outside, out)
+	}
+
+	nEdges := (spec.Hosts + spec.HostsPerEdge - 1) / spec.HostsPerEdge
+	f.Edges = make([]*Node, 0, nEdges)
+	f.Hosts = make([]*Node, 0, spec.Hosts)
+	for e := 0; e < nEdges; e++ {
+		edge, err := sim.AddNode(fmt.Sprintf("edge%d", e), "supportive")
+		if err != nil {
+			return nil, err
+		}
+		down := sim.Connect(border, edge, defaultLink(spec.EdgeLink))
+		edge.AddRoute(defaultRoute, down)
+		f.Edges = append(f.Edges, edge)
+		for i := e * spec.HostsPerEdge; i < (e+1)*spec.HostsPerEdge && i < spec.Hosts; i++ {
+			addr := f.HostAddr(i)
+			host, err := sim.AddNode(fmt.Sprintf("host%d", i), "supportive", addr)
+			if err != nil {
+				return nil, err
+			}
+			hl := sim.Connect(edge, host, defaultLink(spec.HostLink))
+			host.AddRoute(defaultRoute, hl)
+			edge.AddRoute(netip.PrefixFrom(addr, 32), hl)
+			border.AddRoute(netip.PrefixFrom(addr, 32), down)
+			f.Hosts = append(f.Hosts, host)
+		}
+	}
+	return f, nil
+}
+
+// CountDeliveries installs one shared counting handler on every customer
+// host and returns the counter: the standard measure wiring for scale
+// experiments, where per-host closures would cost N allocations.
+func (f *Fanout) CountDeliveries() *uint64 {
+	var count uint64
+	h := func(time.Time, []byte) { count++ }
+	for _, host := range f.Hosts {
+		host.SetHandler(h)
+	}
+	return &count
+}

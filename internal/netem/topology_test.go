@@ -1,0 +1,92 @@
+package netem
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBuildFanoutRouting(t *testing.T) {
+	s := NewSimulator(simStart, 1)
+	f, err := BuildFanout(s, FanoutSpec{Hosts: 600, HostsPerEdge: 100, Outside: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Edges) != 6 || len(f.Hosts) != 600 || len(f.Outside) != 2 {
+		t.Fatalf("tiers = %d edges, %d hosts, %d outside", len(f.Edges), len(f.Hosts), len(f.Outside))
+	}
+
+	// Outside -> any host crosses transit, border, an edge (3 forwards).
+	delivered := f.CountDeliveries()
+	for _, i := range []int{0, 99, 100, 599} {
+		if err := f.Outside[0].Send(mkUDP(t, f.OutsideAddr(0), f.HostAddr(i), nil)); err != nil {
+			t.Fatalf("send to host %d: %v", i, err)
+		}
+	}
+	s.Run()
+	if *delivered != 4 {
+		t.Fatalf("delivered %d/4 downstream packets", *delivered)
+	}
+
+	// Host -> outside works via default routes.
+	got := false
+	f.Outside[1].SetHandler(func(time.Time, []byte) { got = true })
+	if err := f.Hosts[42].Send(mkUDP(t, f.HostAddr(42), f.OutsideAddr(1), nil)); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if !got {
+		t.Fatal("upstream packet undelivered")
+	}
+
+	// Anycast from outside terminates at the border (neutralizer site).
+	atBorder := false
+	f.Border.SetHandler(func(time.Time, []byte) { atBorder = true })
+	if err := f.Outside[0].Send(mkUDP(t, f.OutsideAddr(0), f.Spec.Anycast, nil)); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if !atBorder {
+		t.Fatal("anycast packet did not reach the border")
+	}
+
+	// The border resolves hosts through the indexed FIB: spot-check the
+	// compiled shape (one host route per customer, O(1) lookups).
+	if n := f.Border.RouteCount(); n < 600 {
+		t.Errorf("border has %d routes, want >= 600", n)
+	}
+}
+
+func TestBuildFanoutRejectsBadSpecs(t *testing.T) {
+	s := NewSimulator(simStart, 1)
+	if _, err := BuildFanout(s, FanoutSpec{Hosts: 0}); err == nil {
+		t.Error("zero hosts accepted")
+	}
+	if _, err := BuildFanout(s, FanoutSpec{Hosts: 1 << 23}); err == nil {
+		t.Error("hosts exceeding the customer block accepted")
+	}
+}
+
+// TestBuildFanoutScales: a 20k-host build must stay well under a second
+// and route end to end.
+func TestBuildFanoutScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := NewSimulator(simStart, 1)
+	start := time.Now()
+	f, err := BuildFanout(s, FanoutSpec{Hosts: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Errorf("20k-host build took %v", el)
+	}
+	delivered := f.CountDeliveries()
+	if err := f.Outside[0].Send(mkUDP(t, f.OutsideAddr(0), f.HostAddr(19999), nil)); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if *delivered != 1 {
+		t.Fatal("last host unreachable")
+	}
+}

@@ -1,6 +1,8 @@
 // Package trafficgen generates the workloads the experiments run: CBR
-// streams, G.711-like VoIP calls, and Poisson web-style request/response
-// mixes, all scheduled deterministically on a netem simulator.
+// streams, G.711-like VoIP calls, Poisson web-style request/response
+// mixes, and open-loop target-rate sources over pooled packet buffers
+// (the metro-scale load model), all scheduled deterministically on a
+// netem simulator.
 package trafficgen
 
 import (
@@ -25,8 +27,9 @@ type CBR struct {
 }
 
 // Run schedules the stream on sim starting immediately and running for
-// at most d (ignored when Count > 0). Returns the number of packets
-// scheduled.
+// at most d (ignored when Count > 0). Returns the number of packets that
+// will be sent. The stream self-reschedules one event at a time, so a
+// long stream costs one pending event, not n.
 func (c CBR) Run(sim *netem.Simulator, d time.Duration, send SendFunc) int {
 	n := c.Count
 	if n == 0 {
@@ -35,13 +38,72 @@ func (c CBR) Run(sim *netem.Simulator, d time.Duration, send SendFunc) int {
 		}
 		n = int(d / c.Interval)
 	}
-	for i := 0; i < n; i++ {
-		seq := uint64(i)
-		sim.Schedule(time.Duration(i)*c.Interval, func() {
-			send(seq, mkPayload(c.Size, seq))
-		})
+	return selfReschedule(sim, c.Interval, n, func(seq uint64) {
+		send(seq, mkPayload(c.Size, seq))
+	})
+}
+
+// selfReschedule fires n emissions interval apart, rescheduling one
+// event at a time so a long stream costs one pending event, not n.
+func selfReschedule(sim *netem.Simulator, interval time.Duration, n int, fire func(seq uint64)) int {
+	if n <= 0 {
+		return 0
 	}
+	i := 0
+	var step func()
+	step = func() {
+		fire(uint64(i))
+		i++
+		if i < n {
+			sim.Schedule(interval, step)
+		}
+	}
+	sim.Schedule(0, step)
 	return n
+}
+
+// OpenLoop emits events at a constant target rate regardless of network
+// feedback — the load model for the metro-scale experiments, where tens
+// of thousands of packets per simulated second are pushed through one
+// neutralizer domain. Like CBR it self-reschedules, keeping the pending
+// event count at one however long the run is.
+type OpenLoop struct {
+	// RatePps is the target emission rate in packets per second of
+	// virtual time.
+	RatePps float64
+	// Count optionally caps total emissions (0 = run for the duration).
+	Count int
+}
+
+// Run schedules the open-loop source for duration d; emit receives the
+// sequence number. Returns the number of emissions that will occur.
+func (o OpenLoop) Run(sim *netem.Simulator, d time.Duration, emit func(seq uint64)) int {
+	if o.RatePps <= 0 {
+		return 0
+	}
+	interval := time.Duration(float64(time.Second) / o.RatePps)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	n := o.Count
+	if n == 0 {
+		n = int(d / interval)
+	}
+	return selfReschedule(sim, interval, n, emit)
+}
+
+// CyclingSender returns an OpenLoop emit function that sends the template
+// packets round-robin from node. Each emission checks a buffer out of the
+// simulator's packet pool and copies the template into it — the one copy
+// of the packet's journey — so steady-state generation does not allocate.
+func CyclingSender(node *netem.Node, templates [][]byte) func(seq uint64) {
+	if len(templates) == 0 {
+		panic("trafficgen: CyclingSender needs at least one template packet")
+	}
+	sim := node.Sim()
+	return func(seq uint64) {
+		_ = node.SendPacket(sim.NewPacket(templates[int(seq%uint64(len(templates)))]))
+	}
 }
 
 // VoIPCall models a one-direction G.711 stream: 160-byte frames every

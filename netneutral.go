@@ -10,7 +10,8 @@
 // fly as Ks = hash(KM, nonce, srcIP).
 //
 // This package re-exports the main entry points; the implementation
-// lives in the internal packages (see DESIGN.md for the full inventory):
+// lives in the internal packages (see README.md "Module layout" for the
+// full inventory):
 //
 //   - NewNeutralizer: the border service (internal/core)
 //   - NewKeySchedule: the shared master-key schedule (internal/crypto/keys)
@@ -131,8 +132,8 @@ type Experiment = eval.Experiment
 // ExperimentResult is an experiment's paper-vs-measured row set.
 type ExperimentResult = eval.Result
 
-// Experiments returns every registered experiment (E1-E4, F1-F2, A1-A8 —
-// see DESIGN.md §4 for the index).
+// Experiments returns every registered experiment (E1-E6, F1-F2, A1-A8 —
+// `neutbench -list` prints the index; see README.md).
 func Experiments() []Experiment { return eval.All() }
 
 // ExperimentByID looks up an experiment by its index id (e.g. "E3").

@@ -5,7 +5,10 @@
 // per op, and BenchmarkDataPathParallel at 4 workers should reach >= 2x
 // the single-worker rate — a check that is only meaningful (and only
 // enforced) when the host actually has >= 4 CPUs, so the host core count
-// is recorded alongside every run.
+// is recorded alongside every run. The netem engine checks ride along:
+// BenchmarkNetemForward must be zero-alloc, and BenchmarkNetemMetro's
+// sim events/sec and forwarded pps are recorded so the metro-scale path
+// can be tracked across PRs.
 package main
 
 import (
@@ -30,6 +33,10 @@ type Bench struct {
 	MBPerS      *float64 `json:"mb_per_s,omitempty"`
 	PktsPerOp   int64    `json:"pkts_per_op"`
 	Kpps        float64  `json:"kpps"`
+	// EventsPerSec and PktsPerSec carry the netem engine metrics
+	// (BenchmarkNetemMetro's "events/s" and "pps" report units).
+	EventsPerSec *float64 `json:"events_per_sec,omitempty"`
+	PktsPerSec   *float64 `json:"pkts_per_sec,omitempty"`
 }
 
 // Report is the BENCH_*.json document.
@@ -101,6 +108,10 @@ func main() {
 				b.MBPerS = ptr(v)
 			case "kpps":
 				b.Kpps = v
+			case "events/s":
+				b.EventsPerSec = ptr(v)
+			case "pps":
+				b.PktsPerSec = ptr(v)
 			}
 		}
 		if b.Kpps == 0 && b.NsPerOp > 0 {
@@ -129,11 +140,18 @@ func ptr(v float64) *float64 { return &v }
 // evalChecks records the acceptance checks for the zero-alloc sharded
 // data plane.
 func evalChecks(rep *Report) {
-	var batchAllocs *float64
+	var batchAllocs, fwdAllocs *float64
+	var metro *Bench
 	rates := map[string]float64{}
-	for _, b := range rep.Benchmarks {
+	for i, b := range rep.Benchmarks {
 		if strings.HasPrefix(b.Name, "BenchmarkProcessBatch/") {
 			batchAllocs = b.AllocsPerOp
+		}
+		if b.Name == "BenchmarkNetemForward" {
+			fwdAllocs = b.AllocsPerOp
+		}
+		if b.Name == "BenchmarkNetemMetro" {
+			metro = &rep.Benchmarks[i]
 		}
 		if strings.HasPrefix(b.Name, "BenchmarkDataPathParallel/") {
 			if i := strings.Index(b.Name, "workers="); i >= 0 {
@@ -149,6 +167,24 @@ func evalChecks(rep *Report) {
 		rep.Checks["process_batch_zero_alloc"] = "pass (0 allocs/op)"
 	default:
 		rep.Checks["process_batch_zero_alloc"] = fmt.Sprintf("FAIL (%v allocs/op)", *batchAllocs)
+	}
+	switch {
+	case fwdAllocs == nil:
+		rep.Checks["netem_forward_zero_alloc"] = "not run"
+	case *fwdAllocs == 0:
+		rep.Checks["netem_forward_zero_alloc"] = "pass (0 allocs/op)"
+	default:
+		rep.Checks["netem_forward_zero_alloc"] = fmt.Sprintf("FAIL (%v allocs/op)", *fwdAllocs)
+	}
+	switch {
+	case metro == nil:
+		rep.Checks["netem_metro_events_per_sec"] = "not run"
+	case metro.EventsPerSec == nil || *metro.EventsPerSec <= 0:
+		rep.Checks["netem_metro_events_per_sec"] = "FAIL (events/s metric missing)"
+	default:
+		rep.Checks["netem_metro_events_per_sec"] = fmt.Sprintf(
+			"recorded (%.0f events/s, pre-refactor engine ~10k fwd pps on the 10k-host fan-out)",
+			*metro.EventsPerSec)
 	}
 	r1, r4 := rates["1"], rates["4"]
 	switch {
