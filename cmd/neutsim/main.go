@@ -9,12 +9,24 @@
 // border, reporting engine throughput (sim-events/sec, packets/sec)
 // alongside the scenario verdicts.
 //
+// With -arms it runs the E7 arms race at a chosen scale: app-shaped
+// flows (VoIP / video / bulk / web) under {plaintext, encrypted,
+// encrypted+cloak} against {port-rule, statistical-dpi} adversaries,
+// reporting classifier accuracy, per-class goodput and the cloak's
+// measured cost. A failed arms-race verdict exits non-zero, which is
+// how CI smokes the arms path at reduced scale.
+//
+// -seed threads one seed through every RNG in the run — simulator,
+// policies, per-flow jitter, and end-host identity generation — so any
+// scenario replays bit-identically.
+//
 // Usage:
 //
 //	neutsim                       # plain vs neutralized, summary
 //	neutsim -neutralize=false     # only the plain phase
 //	neutsim -packets 50 -trace    # per-packet trace of the AT&T segment
 //	neutsim -hosts 10000 -duration 2s -seed 7   # metro-scale run
+//	neutsim -arms -flows 8 -duration 2s -seed 7 # arms race, 8 flows/class
 package main
 
 import (
@@ -28,11 +40,13 @@ import (
 	"netneutral"
 	"netneutral/internal/core"
 	"netneutral/internal/crypto/aesutil"
+	"netneutral/internal/e2e"
 	"netneutral/internal/endhost"
 	"netneutral/internal/eval"
 	"netneutral/internal/isp"
 	"netneutral/internal/netem"
 	"netneutral/internal/shim"
+	"netneutral/internal/trafficgen"
 	"netneutral/internal/wire"
 )
 
@@ -49,11 +63,17 @@ func main() {
 	packets := flag.Int("packets", 20, "data packets to attempt")
 	neutralize := flag.Bool("neutralize", true, "also run the neutralized phase")
 	trace := flag.Bool("trace", false, "print each packet crossing the discriminatory ISP")
-	seed := flag.Int64("seed", 1, "simulation seed")
+	seed := flag.Int64("seed", 1, "seed threaded to every RNG (simulator, policies, jitter, identities)")
 	hosts := flag.Int("hosts", 0, "run the metro-scale scenario with this many customer hosts (0 = Figure-1 narration)")
-	duration := flag.Duration("duration", 2*time.Second, "simulated traffic duration for the metro-scale scenario")
+	arms := flag.Bool("arms", false, "run the E7 arms-race scenario (dpi adversary vs cloaking)")
+	flows := flag.Int("flows", 25, "arms race: flows per application class")
+	duration := flag.Duration("duration", 2*time.Second, "simulated traffic duration for the metro/arms scenarios")
 	flag.Parse()
 
+	if *arms {
+		runArms(*flows, *seed, *duration)
+		return
+	}
 	if *hosts > 0 {
 		runMetro(*hosts, *seed, *duration)
 		return
@@ -71,6 +91,32 @@ func main() {
 	fmt.Printf("delivered %d/%d; classifier hits %d; ISP saw customer address: %v\n",
 		delivered2, *packets, hits2, sawCustomer)
 	fmt.Println("the ISP can degrade the supportive ISP's traffic as a whole, but cannot single out the customer")
+}
+
+// runArms drives the E7 arms-race matrix and narrates the ladder; any
+// failed verdict (see eval.RunArms) exits non-zero.
+func runArms(flowsPerClass int, seed int64, duration time.Duration) {
+	nFlows := trafficgen.NumApps * flowsPerClass
+	fmt.Printf("== arms race: %d app-shaped flows vs port rules and statistical dpi ==\n", nFlows)
+	st, err := eval.RunArms(eval.ArmsConfig{FlowsPerClass: flowsPerClass, Seed: seed, Duration: duration})
+	if err != nil {
+		log.Fatal(err)
+	}
+	voip := int(trafficgen.AppVoIP)
+	pp := st.Cell(eval.ModePlaintext, eval.AdvPortRule)
+	pe := st.Cell(eval.ModeEncrypted, eval.AdvPortRule)
+	de := st.Cell(eval.ModeEncrypted, eval.AdvDPI)
+	dc := st.Cell(eval.ModeCloaked, eval.AdvDPI)
+	fmt.Printf("port rule   plaintext    voip goodput %3.0f%%  (%d port matches: the strawman works)\n",
+		100*pp.Goodput[voip], pp.PortHits)
+	fmt.Printf("port rule   encrypted    voip goodput %3.0f%%  (%d matches: the paper's claim holds)\n",
+		100*pe.Goodput[voip], pe.PortHits)
+	fmt.Printf("dpi         encrypted    accuracy %3.0f%%, voip goodput %3.0f%%  (encryption alone is not enough)\n",
+		100*de.Accuracy, 100*de.Goodput[voip])
+	fmt.Printf("dpi         +cloak       accuracy %3.0f%%, voip goodput %3.0f%%  (fingerprint erased)\n",
+		100*dc.Accuracy, 100*dc.Goodput[voip])
+	fmt.Printf("cloak cost  %.1fx wire bytes per real byte, +%v mean frame latency\n",
+		dc.CloakOverhead, dc.CloakDelay.Round(time.Millisecond))
 }
 
 // runMetro drives the metro-scale fan-out scenario and narrates the
@@ -181,7 +227,9 @@ func runNeutralized(packets int, trace bool, seed int64) (delivered int, hits ui
 	att.AddTransitHook(policy.Hook())
 
 	mkHost := func(node *netem.Node, s int64) *endhost.Host {
-		id, err := netneutral.NewIdentity(0)
+		// Identities derive from the run seed too, so a -seed run
+		// replays bit-identically (key material included).
+		id, err := e2e.NewIdentity(mathrand.New(mathrand.NewSource(s)), 0)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,12 +1,16 @@
-// VoIP discrimination: the paper's motivating Vonage story, quantified.
+// VoIP discrimination: the paper's motivating Vonage story, quantified
+// on the fan-out substrate with the app-shaped traffic model.
 //
 // A broadband ISP degrades traffic addressed to a competitor's VoIP
 // server while its own service rides clean. Without the neutralizer the
 // competitor's MOS collapses; with it, the classifier cannot find the
-// flow and quality is restored.
+// flow and quality is restored. The call is a trafficgen.AppSource VoIP
+// flow — the same jittered G.711 shape the E7 arms-race experiment
+// fingerprints — crossing a netem.BuildFanout topology: user (outside)
+// → discriminatory transit → supportive border (neutralizer) → server.
 //
 //	go run ./examples/voip                 # defaults: 12% loss, 150ms delay
-//	go run ./examples/voip -loss 0.3 -delay 300ms
+//	go run ./examples/voip -loss 0.3 -delay 300ms -duration 5s
 package main
 
 import (
@@ -18,33 +22,29 @@ import (
 	"time"
 
 	"netneutral"
+	"netneutral/internal/e2e"
 	"netneutral/internal/endhost"
 	"netneutral/internal/isp"
 	"netneutral/internal/measure"
 	"netneutral/internal/netem"
+	"netneutral/internal/trafficgen"
 	"netneutral/internal/wire"
 )
 
-var (
-	start    = time.Date(2006, 11, 1, 0, 0, 0, 0, time.UTC)
-	userAddr = netip.MustParseAddr("172.16.1.10")
-	attAddr  = netip.MustParseAddr("172.16.0.1")
-	anycast  = netip.MustParseAddr("10.200.0.1")
-	vonage   = netip.MustParseAddr("10.10.0.7")
-	custNet  = netip.MustParsePrefix("10.10.0.0/16")
-)
+var start = time.Date(2006, 11, 1, 0, 0, 0, 0, time.UTC)
 
 func main() {
 	loss := flag.Float64("loss", 0.12, "targeted drop probability")
 	delay := flag.Duration("delay", 150*time.Millisecond, "targeted extra delay")
-	frames := flag.Int("frames", 150, "G.711 frames per call (20ms each)")
+	duration := flag.Duration("duration", 3*time.Second, "call length (G.711 frames every ~20ms)")
+	seed := flag.Int64("seed", 4, "seed for jitter, policy and identities")
 	flag.Parse()
 
-	clean := runCall(*frames, 0, 0, false)
-	degraded := runCall(*frames, *loss, *delay, false)
-	cured := runCall(*frames, *loss, *delay, true)
+	clean := runCall(*duration, 0, 0, false, *seed)
+	degraded := runCall(*duration, *loss, *delay, false, *seed)
+	cured := runCall(*duration, *loss, *delay, true, *seed)
 
-	fmt.Printf("G.711 call, %d frames of 160B every 20ms (64 kbps):\n\n", *frames)
+	fmt.Printf("G.711 call, 160B frames every ~20ms (64 kbps) for %v:\n\n", *duration)
 	fmt.Printf("  %-42s MOS %.2f\n", "ISP's own VoIP (undisturbed path):", clean)
 	fmt.Printf("  %-42s MOS %.2f\n",
 		fmt.Sprintf("competitor, targeted (%.0f%% loss, +%v):", *loss*100, *delay), degraded)
@@ -52,75 +52,71 @@ func main() {
 	fmt.Println("\nMOS scale: 4.3+ excellent, 4.0 good, 3.6 fair, <3.1 users abandon the service.")
 }
 
-// runCall builds the Figure-1 world, streams a one-way call from the user
-// to the competitor's VoIP server, and returns the E-model MOS.
-func runCall(frames int, loss float64, delay time.Duration, neutralized bool) float64 {
-	sim := netem.NewSimulator(start, 4)
-	user := sim.MustAddNode("user", "att", userAddr)
-	att := sim.MustAddNode("att-core", "att", attAddr)
-	border := sim.MustAddNode("border", "cogent")
-	server := sim.MustAddNode("vonage", "cogent", vonage)
-	sim.Connect(user, att, netem.LinkConfig{Delay: 2 * time.Millisecond})
-	sim.Connect(att, border, netem.LinkConfig{Delay: 8 * time.Millisecond})
-	sim.Connect(border, server, netem.LinkConfig{Delay: 2 * time.Millisecond})
-	sim.AddAnycast(anycast, border)
-	sim.BuildRoutes()
+// runCall stamps out the fan-out world, streams one app-shaped call
+// from the outside user to the competitor's server, and returns the
+// E-model MOS.
+func runCall(duration time.Duration, loss float64, delay time.Duration, neutralized bool, seed int64) float64 {
+	sim := netem.NewSimulator(start, seed)
+	f, err := netem.BuildFanout(sim, netem.FanoutSpec{Hosts: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	user, server := f.Outside[0], f.Hosts[0]
+	vonage := f.HostAddr(0)
 
+	// The discriminatory transit targets the competitor's server.
 	if loss > 0 || delay > 0 {
 		policy := isp.NewPolicy(sim.Rand(), isp.Rule{
 			Name:   "degrade-competitor",
 			Match:  isp.MatchDstAddr(vonage),
 			Action: isp.Action{DropProb: loss, Delay: delay},
 		})
-		att.AddTransitHook(policy.Hook())
+		f.Transit.AddTransitHook(policy.Hook())
 	}
 
 	neut, err := netneutral.NewNeutralizer(netneutral.NeutralizerConfig{
 		Schedule:   netneutral.NewKeySchedule(netneutral.MasterKey{7}, start, time.Hour),
-		Anycast:    anycast,
-		IsCustomer: func(a netip.Addr) bool { return custNet.Contains(a) },
+		Anycast:    f.Spec.Anycast,
+		IsCustomer: f.CustomerNet.Contains,
 		Clock:      sim.Now,
-		Rand:       mathrand.New(mathrand.NewSource(5)),
+		Rand:       mathrand.New(mathrand.NewSource(seed + 1)),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	border.SetHandler(func(_ time.Time, pkt []byte) {
+	f.Border.SetHandler(func(_ time.Time, pkt []byte) {
 		outs, err := neut.Process(pkt)
 		if err != nil {
 			return
 		}
 		for _, o := range outs {
-			_ = border.Send(o.Pkt)
+			_ = f.Border.Send(o.Pkt)
 		}
 	})
 
+	// Frame accounting: the app source jitters emissions, so delays are
+	// measured against each frame's recorded send time.
 	var lost measure.LossCounter
 	var delays measure.Histogram
-	frameAt := func(seq uint64) time.Time {
-		return start.Add(2*time.Second + time.Duration(seq)*20*time.Millisecond)
-	}
+	var sentAt []time.Time
 	record := func(now time.Time, payload []byte) {
-		if len(payload) < 8 {
+		seq := trafficgen.SeqOf(payload)
+		if int(seq) >= len(sentAt) {
 			return
 		}
-		var seq uint64
-		for i := 0; i < 8; i++ {
-			seq = seq<<8 | uint64(payload[i])
-		}
 		lost.Received++
-		delays.Add(now.Sub(frameAt(seq)))
+		delays.Add(now.Sub(sentAt[seq]))
 	}
-	sendFrame := func(seq uint64, send func(payload []byte)) {
-		sim.ScheduleAt(frameAt(seq), func() {
-			lost.Sent++
-			payload := make([]byte, 160)
-			for i := 0; i < 8; i++ {
-				payload[i] = byte(seq >> (8 * (7 - i)))
-			}
-			send(payload)
-		})
+	mkFrame := func(seq uint64, size int) []byte {
+		payload := make([]byte, size)
+		for i := 0; i < 8; i++ {
+			payload[i] = byte(seq >> (8 * (7 - i)))
+		}
+		lost.Sent++
+		sentAt = append(sentAt, sim.Now())
+		return payload
 	}
+	call := trafficgen.AppSource{App: trafficgen.AppVoIP, Rng: mathrand.New(mathrand.NewSource(seed + 2))}
 
 	if !neutralized {
 		server.SetHandler(func(now time.Time, pkt []byte) {
@@ -129,21 +125,20 @@ func runCall(frames int, loss float64, delay time.Duration, neutralized bool) fl
 				record(now, p.ApplicationPayload())
 			}
 		})
-		for i := 0; i < frames; i++ {
-			sendFrame(uint64(i), func(payload []byte) {
-				buf := wire.NewSerializeBuffer(28, len(payload))
-				buf.PushPayload(payload)
-				_ = wire.SerializeLayers(buf,
-					&wire.IPv4{TTL: 64, Protocol: wire.ProtoUDP, Src: userAddr, Dst: vonage},
-					&wire.UDP{SrcPort: 7078, DstPort: 7078},
-				)
-				_ = user.Send(buf.Bytes())
-			})
-		}
+		call.Run(sim, duration, func(seq uint64, size int) {
+			payload := mkFrame(seq, size)
+			buf := wire.NewSerializeBuffer(wire.IPv4HeaderLen+wire.UDPHeaderLen, len(payload))
+			buf.PushPayload(payload)
+			_ = wire.SerializeLayers(buf,
+				&wire.IPv4{TTL: 64, Protocol: wire.ProtoUDP, Src: user.Addr(), Dst: vonage},
+				&wire.UDP{SrcPort: 7078, DstPort: trafficgen.AppVoIP.Port()},
+			)
+			_ = user.Send(buf.Bytes())
+		})
 		sim.Run()
 	} else {
-		mk := func(node *netem.Node, seed int64) *endhost.Host {
-			id, err := netneutral.NewIdentity(0)
+		mk := func(node *netem.Node, s int64) *endhost.Host {
+			id, err := e2e.NewIdentity(mathrand.New(mathrand.NewSource(s)), 0)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -152,7 +147,7 @@ func runCall(frames int, loss float64, delay time.Duration, neutralized bool) fl
 				Transport: func(pkt []byte) error { return node.Send(pkt) },
 				Identity:  id,
 				Clock:     sim.Now,
-				Rand:      mathrand.New(mathrand.NewSource(seed)),
+				Rand:      mathrand.New(mathrand.NewSource(s)),
 			})
 			if err != nil {
 				log.Fatal(err)
@@ -160,19 +155,19 @@ func runCall(frames int, loss float64, delay time.Duration, neutralized bool) fl
 			node.SetHandler(h.HandlePacket)
 			return h
 		}
-		serverHost := mk(server, 31)
-		userHost := mk(user, 32)
+		serverHost := mk(server, seed+31)
+		userHost := mk(user, seed+32)
 		serverHost.SetOnData(func(_ netip.Addr, data []byte) { record(sim.Now(), data) })
-		if err := userHost.Setup(anycast); err != nil {
+		if err := userHost.Setup(f.Spec.Anycast); err != nil {
 			log.Fatal(err)
 		}
 		sim.RunFor(time.Second)
-		if err := userHost.Connect(anycast, vonage, serverHost.Identity()); err != nil {
+		if err := userHost.Connect(f.Spec.Anycast, vonage, serverHost.Identity()); err != nil {
 			log.Fatal(err)
 		}
-		for i := 0; i < frames; i++ {
-			sendFrame(uint64(i), func(payload []byte) { _ = userHost.Send(vonage, payload) })
-		}
+		call.Run(sim, duration, func(seq uint64, size int) {
+			_ = userHost.Send(vonage, mkFrame(seq, size))
+		})
 		sim.Run()
 	}
 	return measure.MOS(delays.Mean(), lost.Loss())

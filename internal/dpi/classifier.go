@@ -1,0 +1,104 @@
+package dpi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrNoSamples is returned by Train on an empty training set.
+var ErrNoSamples = errors.New("dpi: no training samples")
+
+// Sample is one labeled feature vector for training.
+type Sample struct {
+	Class Class
+	Vec   [FeatureDim]float64
+}
+
+// Profile is a trained application fingerprint: the centroid of the
+// class's feature vectors.
+type Profile struct {
+	Class    Class
+	Centroid [FeatureDim]float64
+}
+
+// Classifier assigns flows to the nearest trained profile under a
+// weighted squared distance. Classification reads only stack arrays and
+// the profile slice: zero allocations per call.
+type Classifier struct {
+	Profiles []Profile
+	Weights  [FeatureDim]float64
+}
+
+// DefaultWeights emphasizes timing features over the size histogram:
+// padding countermeasures erase sizes first, and within a size bucket
+// the inter-arrival shape is what separates bulk from video.
+func DefaultWeights() [FeatureDim]float64 {
+	var w [FeatureDim]float64
+	for i := 0; i < NumSizeBuckets; i++ {
+		w[i] = 1
+	}
+	w[NumSizeBuckets] = 2.0   // mean inter-arrival (log)
+	w[NumSizeBuckets+1] = 2.0 // inter-arrival CV
+	w[NumSizeBuckets+2] = 2.0 // burst fraction
+	w[NumSizeBuckets+3] = 1.0 // mean size
+	w[NumSizeBuckets+4] = 0.5 // direction ratio
+	return w
+}
+
+// Train builds a nearest-centroid classifier from labeled samples (one
+// profile per class present, in class order).
+func Train(samples []Sample) (*Classifier, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	var sums [NumClasses + 1][FeatureDim]float64
+	var counts [NumClasses + 1]int
+	for _, s := range samples {
+		if s.Class == ClassUnknown || int(s.Class) > NumClasses {
+			return nil, fmt.Errorf("dpi: sample labeled %v", s.Class)
+		}
+		for i, v := range s.Vec {
+			sums[s.Class][i] += v
+		}
+		counts[s.Class]++
+	}
+	c := &Classifier{Weights: DefaultWeights()}
+	for class, n := range counts {
+		if n == 0 {
+			continue
+		}
+		p := Profile{Class: Class(class)}
+		for i := range p.Centroid {
+			p.Centroid[i] = sums[class][i] / float64(n)
+		}
+		c.Profiles = append(c.Profiles, p)
+	}
+	sort.Slice(c.Profiles, func(i, j int) bool { return c.Profiles[i].Class < c.Profiles[j].Class })
+	return c, nil
+}
+
+// Classify assigns the flow to the nearest profile, returning the class
+// and the weighted squared distance to it (lower = more confident).
+func (c *Classifier) Classify(f *Features) (Class, float64) {
+	var v [FeatureDim]float64
+	f.Vector(&v)
+	return c.ClassifyVec(&v)
+}
+
+// ClassifyVec classifies a prepared feature vector. Zero allocations.
+func (c *Classifier) ClassifyVec(v *[FeatureDim]float64) (Class, float64) {
+	best, bestDist := ClassUnknown, 0.0
+	for pi := range c.Profiles {
+		p := &c.Profiles[pi]
+		dist := 0.0
+		for i, w := range c.Weights {
+			d := v[i] - p.Centroid[i]
+			dist += w * d * d
+		}
+		if best == ClassUnknown || dist < bestDist {
+			best, bestDist = p.Class, dist
+		}
+	}
+	return best, bestDist
+}

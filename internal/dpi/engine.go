@@ -1,0 +1,148 @@
+package dpi
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"netneutral/internal/netem"
+)
+
+// ClassPolicy is the enforcement applied to packets of one class —
+// graded degradation, not the binary drop of the rule-list ISP.
+type ClassPolicy struct {
+	// DropProb drops each packet of the class with this probability.
+	DropProb float64
+	// RateBps, when positive, polices the class's aggregate rate with a
+	// token bucket: packets beyond the rate are dropped.
+	RateBps float64
+	// BurstBits is the token-bucket depth (default 64 full-size packets).
+	BurstBits float64
+	// Delay holds each packet of the class before forwarding.
+	Delay time.Duration
+}
+
+// Policy maps each class (indexed by Class, including ClassUnknown=0)
+// to its enforcement.
+type Policy [NumClasses + 1]ClassPolicy
+
+// tokenBucket is a policing bucket in bits.
+type tokenBucket struct {
+	tokens    float64
+	lastNanos int64
+}
+
+func (b *tokenBucket) allow(bits, rateBps, burstBits float64, nowNanos int64) bool {
+	if b.lastNanos != 0 {
+		b.tokens += rateBps * float64(nowNanos-b.lastNanos) / 1e9
+	} else {
+		b.tokens = burstBits
+	}
+	b.lastNanos = nowNanos
+	if b.tokens > burstBits {
+		b.tokens = burstBits
+	}
+	if b.tokens < bits {
+		return false
+	}
+	b.tokens -= bits
+	return true
+}
+
+// EngineConfig configures a transit enforcement engine.
+type EngineConfig struct {
+	// Table configures the flow tracker (and carries the classifier).
+	Table Config
+	// Policy is the per-class enforcement; the zero value observes
+	// without interfering (a pure eavesdropper).
+	Policy Policy
+	// Rng drives probabilistic drops; seed it for deterministic
+	// experiments (default: seed 1).
+	Rng *rand.Rand
+}
+
+// Engine is the deployable statistical adversary: a flow tracker, a
+// classifier, and per-class enforcement compiled into one transit hook.
+type Engine struct {
+	table *FlowTable
+	pol   Policy
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	buckets  [NumClasses + 1]tokenBucket
+	dropped  [NumClasses + 1]uint64
+	policed  [NumClasses + 1]uint64
+	enforced [NumClasses + 1]uint64 // packets seen per class after classification
+}
+
+// NewEngine builds an engine; see EngineConfig.
+func NewEngine(cfg EngineConfig) *Engine {
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	pol := cfg.Policy
+	for i := range pol {
+		if pol[i].RateBps > 0 && pol[i].BurstBits <= 0 {
+			pol[i].BurstBits = 64 * 1500 * 8
+		}
+	}
+	return &Engine{table: NewFlowTable(cfg.Table), pol: pol, rng: rng}
+}
+
+// Table exposes the flow tracker for measurement and training.
+func (e *Engine) Table() *FlowTable { return e.table }
+
+// Drops reports packets dropped by probabilistic enforcement for the
+// class; Policed reports token-bucket drops.
+func (e *Engine) Drops(c Class) uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dropped[c]
+}
+
+// Policed reports token-bucket drops for the class.
+func (e *Engine) Policed(c Class) uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.policed[c]
+}
+
+// Seen reports packets observed for the class after classification.
+func (e *Engine) Seen(c Class) uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.enforced[c]
+}
+
+// Hook compiles the engine into a netem transit hook. The per-packet
+// path — flow-key extraction, feature update, classification check,
+// policy decision — allocates nothing.
+func (e *Engine) Hook() netem.TransitHook {
+	return func(now time.Time, node *netem.Node, pkt []byte) netem.Verdict {
+		key, fwd, ok := netem.FlowKeyOf(pkt)
+		if !ok {
+			return netem.Deliver
+		}
+		nanos := now.UnixNano()
+		class := e.table.Observe(key, fwd, len(pkt), nanos)
+		p := &e.pol[class]
+		e.mu.Lock()
+		e.enforced[class]++
+		if p.RateBps > 0 && !e.buckets[class].allow(float64(len(pkt)*8), p.RateBps, p.BurstBits, nanos) {
+			e.policed[class]++
+			e.mu.Unlock()
+			return netem.Verdict{Drop: true}
+		}
+		if p.DropProb > 0 && e.rng.Float64() < p.DropProb {
+			e.dropped[class]++
+			e.mu.Unlock()
+			return netem.Verdict{Drop: true}
+		}
+		e.mu.Unlock()
+		if p.Delay > 0 {
+			return netem.Verdict{Delay: p.Delay}
+		}
+		return netem.Deliver
+	}
+}

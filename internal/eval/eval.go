@@ -73,6 +73,7 @@ func All() []Experiment {
 		{"E4", "Raw crypto operation rate (§4: 2.35M ops/s)", RunE4},
 		{"E5", "Sharded stateless data plane (anycast scaling in-process)", RunE5},
 		{"E6", "Metro-scale emulation (10k customers, one neutralizer domain)", RunE6},
+		{"E7", armsTitle, RunE7},
 		{"F1", "Figure 1: customer indistinguishability inside a discriminatory ISP", RunF1},
 		{"F2", "Figure 2: protocol walk with eavesdropper assertions", RunF2},
 		{"A1", "§3.2 ablation: chosen key setup vs certified-pubkey alternative", RunA1},

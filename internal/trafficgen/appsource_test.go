@@ -1,0 +1,123 @@
+package trafficgen
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"netneutral/internal/netem"
+)
+
+func newTestSim(seed int64) *netem.Simulator { return netem.NewSimulator(start, seed) }
+
+// runApp collects one flow's emission schedule.
+func runApp(app App, seed int64, d time.Duration) (times []time.Duration, sizes []int) {
+	sim := newTestSim(seed)
+	AppSource{App: app, Rng: rand.New(rand.NewSource(seed))}.Run(sim, d,
+		func(seq uint64, size int) {
+			times = append(times, sim.Now().Sub(start))
+			sizes = append(sizes, size)
+		})
+	sim.Run()
+	return times, sizes
+}
+
+func TestAppVoIPShape(t *testing.T) {
+	times, sizes := runApp(AppVoIP, 3, 2*time.Second)
+	// ~50 pps for 2s, minus the phase offset.
+	if len(times) < 90 || len(times) > 105 {
+		t.Fatalf("voip emitted %d frames in 2s, want ~100", len(times))
+	}
+	for i, s := range sizes {
+		if s != 160 {
+			t.Fatalf("frame %d size %d, want constant 160", i, s)
+		}
+	}
+	for i := 1; i < len(times); i++ {
+		gap := times[i] - times[i-1]
+		if gap < 18*time.Millisecond || gap > 22*time.Millisecond {
+			t.Fatalf("voip gap %v outside the jittered 20ms cadence", gap)
+		}
+	}
+}
+
+func TestAppVideoIsBursty(t *testing.T) {
+	times, sizes := runApp(AppVideo, 5, 3*time.Second)
+	if len(times) < 50 {
+		t.Fatalf("video emitted %d frames, want bursts' worth", len(times))
+	}
+	small, large := 0, 0
+	for i := 1; i < len(times); i++ {
+		if gap := times[i] - times[i-1]; gap < time.Millisecond {
+			small++
+		} else if gap > 100*time.Millisecond {
+			large++
+		}
+	}
+	if small == 0 || large == 0 {
+		t.Errorf("video gaps: %d intra-burst, %d inter-burst — want both (on/off)", small, large)
+	}
+	for _, s := range sizes {
+		if s != 1200 {
+			t.Fatalf("video frame size %d, want 1200", s)
+		}
+	}
+}
+
+func TestAppBulkSteadyLarge(t *testing.T) {
+	times, sizes := runApp(AppBulk, 7, time.Second)
+	if len(times) < 300 {
+		t.Fatalf("bulk emitted %d, want ~330", len(times))
+	}
+	for _, s := range sizes {
+		if s < 1250 || s >= 1330 {
+			t.Fatalf("bulk size %d outside [1250,1330)", s)
+		}
+	}
+}
+
+func TestAppWebHeavyTail(t *testing.T) {
+	times, sizes := runApp(AppWeb, 11, 20*time.Second)
+	if len(times) < 30 {
+		t.Fatalf("web emitted %d pieces in 20s, want fetch activity", len(times))
+	}
+	minS, maxS := 1<<30, 0
+	for _, s := range sizes {
+		if s < minS {
+			minS = s
+		}
+		if s > maxS {
+			maxS = s
+		}
+	}
+	if minS == maxS {
+		t.Error("web sizes constant, want mixed")
+	}
+}
+
+func TestAppSourceDeterministicPerSeed(t *testing.T) {
+	t1, _ := runApp(AppVideo, 9, time.Second)
+	t2, _ := runApp(AppVideo, 9, time.Second)
+	if len(t1) != len(t2) {
+		t.Fatalf("same seed emitted %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("emission %d at %v vs %v", i, t1[i], t2[i])
+		}
+	}
+}
+
+func TestAppPortsDistinct(t *testing.T) {
+	seen := map[uint16]App{}
+	for _, a := range []App{AppVoIP, AppVideo, AppBulk, AppWeb} {
+		p := a.Port()
+		if prev, dup := seen[p]; dup {
+			t.Errorf("%v and %v share port %d", prev, a, p)
+		}
+		seen[p] = a
+		if a.String() == "app?" {
+			t.Errorf("app %d unnamed", a)
+		}
+	}
+}

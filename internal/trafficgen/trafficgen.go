@@ -1,8 +1,10 @@
 // Package trafficgen generates the workloads the experiments run: CBR
 // streams, G.711-like VoIP calls, Poisson web-style request/response
-// mixes, and open-loop target-rate sources over pooled packet buffers
-// (the metro-scale load model), all scheduled deterministically on a
-// netem simulator.
+// mixes, open-loop target-rate sources over pooled packet buffers (the
+// metro-scale load model), and app-shaped sources (AppSource: VoIP,
+// video, bulk, web) whose size/timing structure gives the statistical
+// dpi adversary something real to fingerprint — all scheduled
+// deterministically on a netem simulator.
 package trafficgen
 
 import (

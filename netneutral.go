@@ -17,6 +17,8 @@
 //   - NewKeySchedule: the shared master-key schedule (internal/crypto/keys)
 //   - NewHost: the end-host shim stack (internal/endhost)
 //   - NewSimulator: the discrete-event network emulator (internal/netem)
+//   - NewDPIEngine: the statistical traffic-analysis adversary (internal/dpi)
+//   - NewCloakShaper: padding/timing countermeasures (internal/cloak)
 //   - Experiments / ExperimentByID: the paper-reproduction harness (internal/eval)
 //
 // A minimal in-process conversation:
@@ -36,9 +38,11 @@ package netneutral
 import (
 	"time"
 
+	"netneutral/internal/cloak"
 	"netneutral/internal/core"
 	"netneutral/internal/crypto/aesutil"
 	"netneutral/internal/crypto/keys"
+	"netneutral/internal/dpi"
 	"netneutral/internal/e2e"
 	"netneutral/internal/endhost"
 	"netneutral/internal/eval"
@@ -126,13 +130,43 @@ type Simulator = netem.Simulator
 // and a seeded PRNG.
 func NewSimulator(start time.Time, seed int64) *Simulator { return netem.NewSimulator(start, seed) }
 
+// DPIEngine is the statistical traffic-analysis adversary: a stateful
+// flow tracker, a trained application classifier, and per-class
+// enforcement (token-bucket policing, probabilistic drop) compiled into
+// one transit hook. It is what a discriminatory ISP deploys once
+// encryption defeats its port and payload rules.
+type DPIEngine = dpi.Engine
+
+// DPIEngineConfig configures a DPIEngine.
+type DPIEngineConfig = dpi.EngineConfig
+
+// NewDPIEngine builds a statistical adversary.
+func NewDPIEngine(cfg DPIEngineConfig) *DPIEngine { return dpi.NewEngine(cfg) }
+
+// CloakShaper is the end-host countermeasure to statistical traffic
+// analysis: padding to size buckets, tick-grid timing quantization, and
+// optional cover traffic, with measured goodput/latency cost.
+type CloakShaper = cloak.Shaper
+
+// CloakConfig configures a CloakShaper.
+type CloakConfig = cloak.Config
+
+// CloakClock is the scheduling surface a CloakShaper runs on;
+// *Simulator satisfies it.
+type CloakClock = cloak.Clock
+
+// NewCloakShaper creates a shaper emitting cloaked frames through emit.
+func NewCloakShaper(cfg CloakConfig, clk CloakClock, emit func(frame []byte)) *CloakShaper {
+	return cloak.NewShaper(cfg, clk, emit)
+}
+
 // Experiment is one registered paper-reproduction unit.
 type Experiment = eval.Experiment
 
 // ExperimentResult is an experiment's paper-vs-measured row set.
 type ExperimentResult = eval.Result
 
-// Experiments returns every registered experiment (E1-E6, F1-F2, A1-A8 —
+// Experiments returns every registered experiment (E1-E7, F1-F2, A1-A8 —
 // `neutbench -list` prints the index; see README.md).
 func Experiments() []Experiment { return eval.All() }
 

@@ -8,7 +8,11 @@
 // is recorded alongside every run. The netem engine checks ride along:
 // BenchmarkNetemForward must be zero-alloc, and BenchmarkNetemMetro's
 // sim events/sec and forwarded pps are recorded so the metro-scale path
-// can be tracked across PRs.
+// can be tracked across PRs. So do the dpi arms-race checks:
+// BenchmarkDPIFeatureUpdate and BenchmarkDPIClassify must be zero-alloc
+// (they sit on the transit hot path), the classifier's held-out
+// accuracy on encrypted uncloaked traffic must reach 0.90, and the
+// cloak goodput overhead (wire bytes per real byte) is recorded.
 package main
 
 import (
@@ -37,6 +41,12 @@ type Bench struct {
 	// (BenchmarkNetemMetro's "events/s" and "pps" report units).
 	EventsPerSec *float64 `json:"events_per_sec,omitempty"`
 	PktsPerSec   *float64 `json:"pkts_per_sec,omitempty"`
+	// Accuracy carries BenchmarkDPIClassify's "acc" metric (held-out
+	// classifier accuracy on encrypted uncloaked traffic); Overhead
+	// carries BenchmarkCloakFrame's "xreal" metric (cloak wire bytes
+	// per real byte).
+	Accuracy *float64 `json:"accuracy,omitempty"`
+	Overhead *float64 `json:"overhead_x_real,omitempty"`
 }
 
 // Report is the BENCH_*.json document.
@@ -112,6 +122,10 @@ func main() {
 				b.EventsPerSec = ptr(v)
 			case "pps":
 				b.PktsPerSec = ptr(v)
+			case "acc":
+				b.Accuracy = ptr(v)
+			case "xreal":
+				b.Overhead = ptr(v)
 			}
 		}
 		if b.Kpps == 0 && b.NsPerOp > 0 {
@@ -140,18 +154,26 @@ func ptr(v float64) *float64 { return &v }
 // evalChecks records the acceptance checks for the zero-alloc sharded
 // data plane.
 func evalChecks(rep *Report) {
-	var batchAllocs, fwdAllocs *float64
-	var metro *Bench
+	var batch, fwd, metro, dpiClassify, dpiUpdate, cloakFrame *Bench
 	rates := map[string]float64{}
 	for i, b := range rep.Benchmarks {
 		if strings.HasPrefix(b.Name, "BenchmarkProcessBatch/") {
-			batchAllocs = b.AllocsPerOp
+			batch = &rep.Benchmarks[i]
 		}
 		if b.Name == "BenchmarkNetemForward" {
-			fwdAllocs = b.AllocsPerOp
+			fwd = &rep.Benchmarks[i]
 		}
 		if b.Name == "BenchmarkNetemMetro" {
 			metro = &rep.Benchmarks[i]
+		}
+		if b.Name == "BenchmarkDPIClassify" {
+			dpiClassify = &rep.Benchmarks[i]
+		}
+		if b.Name == "BenchmarkDPIFeatureUpdate" {
+			dpiUpdate = &rep.Benchmarks[i]
+		}
+		if b.Name == "BenchmarkCloakFrame" {
+			cloakFrame = &rep.Benchmarks[i]
 		}
 		if strings.HasPrefix(b.Name, "BenchmarkDataPathParallel/") {
 			if i := strings.Index(b.Name, "workers="); i >= 0 {
@@ -159,22 +181,6 @@ func evalChecks(rep *Report) {
 				rates[w] = b.Kpps
 			}
 		}
-	}
-	switch {
-	case batchAllocs == nil:
-		rep.Checks["process_batch_zero_alloc"] = "not run"
-	case *batchAllocs == 0:
-		rep.Checks["process_batch_zero_alloc"] = "pass (0 allocs/op)"
-	default:
-		rep.Checks["process_batch_zero_alloc"] = fmt.Sprintf("FAIL (%v allocs/op)", *batchAllocs)
-	}
-	switch {
-	case fwdAllocs == nil:
-		rep.Checks["netem_forward_zero_alloc"] = "not run"
-	case *fwdAllocs == 0:
-		rep.Checks["netem_forward_zero_alloc"] = "pass (0 allocs/op)"
-	default:
-		rep.Checks["netem_forward_zero_alloc"] = fmt.Sprintf("FAIL (%v allocs/op)", *fwdAllocs)
 	}
 	switch {
 	case metro == nil:
@@ -185,6 +191,41 @@ func evalChecks(rep *Report) {
 		rep.Checks["netem_metro_events_per_sec"] = fmt.Sprintf(
 			"recorded (%.0f events/s, pre-refactor engine ~10k fwd pps on the 10k-host fan-out)",
 			*metro.EventsPerSec)
+	}
+	zeroAllocCheck := func(name string, b *Bench) {
+		switch {
+		case b == nil:
+			rep.Checks[name] = "not run"
+		case b.AllocsPerOp == nil:
+			rep.Checks[name] = "FAIL (allocs/op missing; run with -benchmem)"
+		case *b.AllocsPerOp == 0:
+			rep.Checks[name] = "pass (0 allocs/op)"
+		default:
+			rep.Checks[name] = fmt.Sprintf("FAIL (%v allocs/op)", *b.AllocsPerOp)
+		}
+	}
+	zeroAllocCheck("process_batch_zero_alloc", batch)
+	zeroAllocCheck("netem_forward_zero_alloc", fwd)
+	zeroAllocCheck("dpi_classify_zero_alloc", dpiClassify)
+	zeroAllocCheck("dpi_feature_update_zero_alloc", dpiUpdate)
+	switch {
+	case dpiClassify == nil:
+		rep.Checks["dpi_accuracy_uncloaked"] = "not run"
+	case dpiClassify.Accuracy == nil:
+		rep.Checks["dpi_accuracy_uncloaked"] = "FAIL (acc metric missing)"
+	case *dpiClassify.Accuracy >= 0.90:
+		rep.Checks["dpi_accuracy_uncloaked"] = fmt.Sprintf("pass (%.2f on held-out encrypted flows, want >= 0.90)", *dpiClassify.Accuracy)
+	default:
+		rep.Checks["dpi_accuracy_uncloaked"] = fmt.Sprintf("FAIL (%.2f, want >= 0.90)", *dpiClassify.Accuracy)
+	}
+	switch {
+	case cloakFrame == nil:
+		rep.Checks["cloak_goodput_overhead"] = "not run"
+	case cloakFrame.Overhead == nil || *cloakFrame.Overhead <= 1:
+		rep.Checks["cloak_goodput_overhead"] = "FAIL (xreal metric missing or <= 1)"
+	default:
+		rep.Checks["cloak_goodput_overhead"] = fmt.Sprintf(
+			"recorded (%.2fx wire bytes per real byte under the E7 cloak)", *cloakFrame.Overhead)
 	}
 	r1, r4 := rates["1"], rates["4"]
 	switch {
