@@ -19,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"netneutral/internal/audit"
 	"netneutral/internal/cloak"
 	"netneutral/internal/core"
 	"netneutral/internal/crypto/aesutil"
@@ -461,6 +462,67 @@ func BenchmarkCloakFrame(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(fix.CloakOverhead, "xreal")
+}
+
+// auditBenchState lazily builds the shared audit fixture (a reduced E8
+// run's measured detection power and false-positive rate plus one
+// blatant-dpi vantage report) so the audit benchmark pays the
+// simulation setup once.
+var auditBenchState struct {
+	once sync.Once
+	fix  *eval.AuditBench
+	err  error
+}
+
+func auditFixture(b *testing.B) *eval.AuditBench {
+	b.Helper()
+	auditBenchState.once.Do(func() {
+		auditBenchState.fix, auditBenchState.err = eval.NewAuditBench()
+	})
+	if auditBenchState.err != nil {
+		b.Fatal(auditBenchState.err)
+	}
+	return auditBenchState.fix
+}
+
+// BenchmarkAuditTrial measures one full per-vantage audit decision —
+// goodput and delay sample extraction, Mann-Whitney, Kolmogorov-
+// Smirnov and exceedance tests, effect gates — on a real blatant-dpi
+// vantage report, and reports the fixture's measured detection power
+// ("power", the audit_detection_power check, >= 0.90) and neutral-ISP
+// false-positive rate ("fpr", audit_false_positive_rate, <= 0.05).
+func BenchmarkAuditTrial(b *testing.B) {
+	fix := auditFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := audit.Decide(fix.Report, audit.DecisionConfig{}); !v.Discriminated {
+			b.Fatal("blatant-dpi vantage report not ruled discriminated")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(fix.Power, "power")
+	b.ReportMetric(fix.FPR, "fpr")
+}
+
+// BenchmarkAuditReportCodec measures the probe-report wire round trip
+// (encode + decode) on the fixture's report — the surface
+// FuzzAuditReport hardens.
+func BenchmarkAuditReportCodec(b *testing.B) {
+	fix := auditFixture(b)
+	buf := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = audit.AppendReport(buf[:0], fix.Report)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := audit.DecodeReport(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkArmsScenario runs a reduced E7 cell matrix per iteration:

@@ -16,6 +16,15 @@
 // measured cost. A failed arms-race verdict exits non-zero, which is
 // how CI smokes the arms path at reduced scale.
 //
+// With -audit it runs the E8 neutrality audit: paired differential
+// probes (app-shaped suspect flow vs shape-neutral control) from
+// -vantages outside vantage points plus inside reference paths,
+// against the full ISP ladder {neutral, port-rule, dpi, dpi+stealth,
+// dpi+probe-evasion} x {plaintext, encrypted} x {naive, interleaved},
+// reporting per-cell detection power, the neutral false-positive rate,
+// and path-segment localization. A failed audit verdict exits
+// non-zero; CI smokes it at reduced scale.
+//
 // -seed threads one seed through every RNG in the run — simulator,
 // policies, per-flow jitter, and end-host identity generation — so any
 // scenario replays bit-identically.
@@ -27,6 +36,7 @@
 //	neutsim -packets 50 -trace    # per-packet trace of the AT&T segment
 //	neutsim -hosts 10000 -duration 2s -seed 7   # metro-scale run
 //	neutsim -arms -flows 8 -duration 2s -seed 7 # arms race, 8 flows/class
+//	neutsim -audit -vantages 8 -trials 10 -seed 7 # neutrality audit
 package main
 
 import (
@@ -38,6 +48,7 @@ import (
 	"time"
 
 	"netneutral"
+	"netneutral/internal/audit"
 	"netneutral/internal/core"
 	"netneutral/internal/crypto/aesutil"
 	"netneutral/internal/e2e"
@@ -67,9 +78,16 @@ func main() {
 	hosts := flag.Int("hosts", 0, "run the metro-scale scenario with this many customer hosts (0 = Figure-1 narration)")
 	arms := flag.Bool("arms", false, "run the E7 arms-race scenario (dpi adversary vs cloaking)")
 	flows := flag.Int("flows", 25, "arms race: flows per application class")
+	auditFlag := flag.Bool("audit", false, "run the E8 neutrality audit (differential probing vs stealthy throttling)")
+	vantages := flag.Int("vantages", 12, "audit: outside vantage points (inside reference vantages scale as 1/3)")
+	trials := flag.Int("trials", 12, "audit: paired measurement trials per vantage")
 	duration := flag.Duration("duration", 2*time.Second, "simulated traffic duration for the metro/arms scenarios")
 	flag.Parse()
 
+	if *auditFlag {
+		runAudit(*vantages, *trials, *seed)
+		return
+	}
 	if *arms {
 		runArms(*flows, *seed, *duration)
 		return
@@ -91,6 +109,47 @@ func main() {
 	fmt.Printf("delivered %d/%d; classifier hits %d; ISP saw customer address: %v\n",
 		delivered2, *packets, hits2, sawCustomer)
 	fmt.Println("the ISP can degrade the supportive ISP's traffic as a whole, but cannot single out the customer")
+}
+
+// runAudit drives the E8 audit matrix and narrates the detection
+// ladder; any failed verdict (see eval.RunAudit) exits non-zero.
+func runAudit(vantages, trials int, seed int64) {
+	inside := vantages / 3
+	if inside < 1 {
+		inside = 1
+	}
+	fmt.Printf("== neutrality audit: %d outside + %d inside vantages, %d paired trials each ==\n",
+		vantages, inside, trials)
+	st, err := eval.RunAudit(eval.AuditConfig{
+		Vantages: vantages, InsideVantages: inside, Trials: trials, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cell := func(i eval.AuditISP, m eval.ArmsMode, s audit.Strategy) *eval.AuditCell {
+		return st.Cell(i, m, s)
+	}
+	dpiInt := cell(eval.ISPDPI, eval.ModeEncrypted, audit.StrategyInterleaved)
+	portPlain := cell(eval.ISPPortRule, eval.ModePlaintext, audit.StrategyInterleaved)
+	portEnc := cell(eval.ISPPortRule, eval.ModeEncrypted, audit.StrategyInterleaved)
+	stealth := cell(eval.ISPDPIStealth, eval.ModeEncrypted, audit.StrategyInterleaved)
+	evNaive := cell(eval.ISPDPIEvasion, eval.ModeEncrypted, audit.StrategyNaive)
+	evInt := cell(eval.ISPDPIEvasion, eval.ModeEncrypted, audit.StrategyInterleaved)
+	fmt.Printf("neutral ISP          false-positive rate %4.1f%%  (every mode, strategy, vantage class)\n",
+		100*st.FalsePositiveRate())
+	fmt.Printf("port rule  plaintext power %3.0f%%  (rule fires on the app port: audit convicts)\n",
+		100*portPlain.Summary.Power)
+	fmt.Printf("port rule  encrypted power %3.0f%%  (nothing to detect: encryption restored neutrality)\n",
+		100*portEnc.Summary.Power)
+	fmt.Printf("dpi        encrypted power %3.0f%%, localized %s  (suspect goodput %.0f%% vs control %.0f%%)\n",
+		100*dpiInt.Summary.Power, dpiInt.Summary.Localized,
+		100*dpiInt.SuspectGoodput, 100*dpiInt.ControlGoodput)
+	fmt.Printf("dpi+stealth          power %3.0f%%, aggregate convicts: %v  (partial+duty dilutes single vantages)\n",
+		100*stealth.Summary.Power, stealth.Summary.Discriminating)
+	fmt.Printf("dpi+evasion  naive   power %3.0f%%  (young-flow whitelist defeats burst probing)\n",
+		100*evNaive.Summary.Power)
+	fmt.Printf("dpi+evasion  interleaved power %3.0f%%  (long-lived app-shaped probes age past it)\n",
+		100*evInt.Summary.Power)
 }
 
 // runArms drives the E7 arms-race matrix and narrates the ladder; any

@@ -1,0 +1,227 @@
+package audit
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"netneutral/internal/netem"
+	"netneutral/internal/trafficgen"
+)
+
+// ProberConfig configures one vantage's paired probe run; zero values
+// get the defaults noted per field.
+type ProberConfig struct {
+	// Sim is the simulator the probe flows run on (required).
+	Sim *netem.Simulator
+	// Rng drives flow jitter; seed it so an audit replays bit-
+	// identically (required).
+	Rng *rand.Rand
+	// Strategy selects naive bursts or interleaved long-lived flows.
+	Strategy Strategy
+	// Trials is the number of paired measurement windows (default 12).
+	Trials int
+	// Window is the measured span of one interleaved trial (default 1s).
+	Window time.Duration
+	// Gap is the unmeasured settle span between interleaved trials
+	// (default 200ms).
+	Gap time.Duration
+	// Suspect is the app shape the suspect flow imitates (default VoIP,
+	// the canonical throttling target).
+	Suspect trafficgen.App
+	// NaivePackets is the per-burst packet count of the naive strategy
+	// (default 64 — deliberately below a probe-evading ISP's flow-age
+	// threshold, which is the point E8 makes).
+	NaivePackets int
+	// NaivePeriod is the naive strategy's per-trial period: suspect
+	// burst at the start, control burst at the half (default 4s).
+	NaivePeriod time.Duration
+	// Emit transmits one probe packet of the given payload size. The
+	// trial index is NoTrial for unmeasured emissions; the naive
+	// strategy's emissions always carry their trial so the caller can
+	// key each burst to a fresh flow identity.
+	Emit func(role Role, trial int, size int)
+}
+
+func (c *ProberConfig) fill() error {
+	if c.Sim == nil || c.Rng == nil || c.Emit == nil {
+		return fmt.Errorf("audit: ProberConfig needs Sim, Rng and Emit")
+	}
+	if c.Trials <= 0 {
+		c.Trials = 12
+	}
+	if c.Trials > MaxReportTrials {
+		return fmt.Errorf("audit: %d trials exceed %d", c.Trials, MaxReportTrials)
+	}
+	if c.Window <= 0 {
+		c.Window = time.Second
+	}
+	if c.Gap <= 0 {
+		c.Gap = 200 * time.Millisecond
+	}
+	if c.NaivePackets <= 0 {
+		c.NaivePackets = 64
+	}
+	if c.NaivePeriod <= 0 {
+		c.NaivePeriod = 4 * time.Second
+	}
+	return nil
+}
+
+// Prober runs one vantage's paired differential probe and accounts the
+// results into per-trial records. All methods run on the simulator's
+// single-threaded event loop — no locking.
+type Prober struct {
+	cfg    ProberConfig
+	start  time.Time
+	trials []Trial
+}
+
+// NewProber validates the config and prepares the trial ledger.
+func NewProber(cfg ProberConfig) (*Prober, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &Prober{cfg: cfg, trials: make([]Trial, cfg.Trials)}, nil
+}
+
+// Duration reports how long the probe runs from Run.
+func (p *Prober) Duration() time.Duration {
+	if p.cfg.Strategy == StrategyNaive {
+		return time.Duration(p.cfg.Trials) * p.cfg.NaivePeriod
+	}
+	return time.Duration(p.cfg.Trials) * (p.cfg.Window + p.cfg.Gap)
+}
+
+// Run schedules the whole probe on the simulator, starting now.
+func (p *Prober) Run() {
+	p.start = p.cfg.Sim.Now()
+	if p.cfg.Strategy == StrategyNaive {
+		p.runNaive()
+		return
+	}
+	p.runInterleaved()
+}
+
+// runInterleaved launches the two long-lived flows; the emit wrappers
+// attribute each emission to the trial window (if any) that is
+// measuring its role at send time.
+func (p *Prober) runInterleaved() {
+	total := p.Duration()
+	suspectRng := rand.New(rand.NewSource(p.cfg.Rng.Int63()))
+	controlRng := rand.New(rand.NewSource(p.cfg.Rng.Int63()))
+	trafficgen.AppSource{App: p.cfg.Suspect, Rng: suspectRng}.Run(p.cfg.Sim, total, p.emitFn(RoleSuspect))
+	trafficgen.ControlSource{Rng: controlRng}.Run(p.cfg.Sim, total, p.emitFn(RoleControl))
+}
+
+// runNaive schedules per-trial fresh bursts: suspect at each trial
+// start, control at the half period — back-to-back by construction.
+func (p *Prober) runNaive() {
+	sim := p.cfg.Sim
+	for t := 0; t < p.cfg.Trials; t++ {
+		trial := t
+		suspectRng := rand.New(rand.NewSource(p.cfg.Rng.Int63()))
+		controlRng := rand.New(rand.NewSource(p.cfg.Rng.Int63()))
+		at := time.Duration(t) * p.cfg.NaivePeriod
+		sim.Schedule(at, func() {
+			trafficgen.AppSource{App: p.cfg.Suspect, Rng: suspectRng}.
+				RunN(sim, p.cfg.NaivePackets, p.burstEmit(RoleSuspect, trial))
+		})
+		sim.Schedule(at+p.cfg.NaivePeriod/2, func() {
+			trafficgen.ControlSource{Rng: controlRng}.
+				RunN(sim, p.cfg.NaivePackets, p.burstEmit(RoleControl, trial))
+		})
+	}
+}
+
+// emitFn wraps Emit for a continuous flow: account the emission to the
+// measuring window, then transmit.
+func (p *Prober) emitFn(role Role) func(seq uint64, size int) {
+	return func(_ uint64, size int) {
+		trial := p.measuredTrial(role, p.cfg.Sim.Now())
+		if trial != NoTrial {
+			p.trials[trial].Sent[role] += uint64(size)
+		}
+		p.cfg.Emit(role, trial, size)
+	}
+}
+
+// burstEmit wraps Emit for a naive burst: the whole burst belongs to
+// its trial.
+func (p *Prober) burstEmit(role Role, trial int) func(seq uint64, size int) {
+	return func(_ uint64, size int) {
+		p.trials[trial].Sent[role] += uint64(size)
+		p.cfg.Emit(role, trial, size)
+	}
+}
+
+// measuredTrial maps an emission time to the trial currently measuring
+// the role, or NoTrial. Even-numbered trials measure both flows in
+// parallel over the full window; odd-numbered trials split the window
+// back-to-back into two half-windows, alternating which role is
+// measured first — so every pairing discipline contributes samples and
+// mutual interference between the two probe flows is controlled for.
+func (p *Prober) measuredTrial(role Role, now time.Time) int {
+	elapsed := now.Sub(p.start)
+	if elapsed < 0 {
+		return NoTrial
+	}
+	period := p.cfg.Window + p.cfg.Gap
+	t := int(elapsed / period)
+	if t >= p.cfg.Trials {
+		return NoTrial
+	}
+	off := elapsed - time.Duration(t)*period
+	if off >= p.cfg.Window {
+		return NoTrial // settle gap
+	}
+	if t%2 == 0 {
+		return t // parallel window: both roles measured
+	}
+	first := RoleSuspect
+	if t%4 == 3 {
+		first = RoleControl
+	}
+	measured := first
+	if off >= p.cfg.Window/2 {
+		measured = 1 - first
+	}
+	if role != measured {
+		return NoTrial
+	}
+	return t
+}
+
+// Deliver accounts one delivered probe packet. Out-of-range indices
+// (NoTrial, corrupt payloads) are ignored.
+func (p *Prober) Deliver(role Role, trial int, size int, delay time.Duration) {
+	if role >= NumRoles || trial < 0 || trial >= len(p.trials) {
+		return
+	}
+	t := &p.trials[trial]
+	t.Delivered[role] += uint64(size)
+	t.DelaySum[role] += int64(delay)
+	t.DelayPkts[role]++
+}
+
+// HandleProbe parses a delivered probe payload and accounts it: the
+// vantage agent's receive hook.
+func (p *Prober) HandleProbe(now time.Time, payload []byte) {
+	role, trial, sentNanos, ok := ParseProbePayload(payload)
+	if !ok || trial == NoTrial {
+		return
+	}
+	p.Deliver(role, trial, len(payload), time.Duration(now.UnixNano()-sentNanos))
+}
+
+// Report snapshots the vantage's measurement for aggregation.
+func (p *Prober) Report(vantage int, inside bool) *Report {
+	r := &Report{
+		Vantage:  uint16(vantage),
+		Inside:   inside,
+		Strategy: p.cfg.Strategy,
+		Trials:   make([]Trial, len(p.trials)),
+	}
+	copy(r.Trials, p.trials)
+	return r
+}

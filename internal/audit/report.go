@@ -1,0 +1,253 @@
+package audit
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Role labels the two flows of a paired probe.
+type Role uint8
+
+// Probe roles.
+const (
+	// RoleSuspect is the app-shaped flow the audited ISP might target.
+	RoleSuspect Role = iota
+	// RoleControl is the shape-neutral flow on the same path.
+	RoleControl
+	// NumRoles sizes per-role arrays.
+	NumRoles
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleSuspect:
+		return "suspect"
+	case RoleControl:
+		return "control"
+	default:
+		return "role?"
+	}
+}
+
+// Strategy selects how trials are laid out in time.
+type Strategy uint8
+
+// Probe strategies.
+const (
+	// StrategyNaive runs each trial as a fresh pair of short-lived
+	// flows, suspect burst then control burst back-to-back — the
+	// Glasnost-style test an ISP can defeat by whitelisting young flows.
+	StrategyNaive Strategy = iota
+	// StrategyInterleaved keeps one long-lived suspect flow and one
+	// long-lived control flow running across all trials, measured in
+	// alternating parallel and back-to-back windows: the flows age into
+	// any probe-evasion threshold and sample every duty phase.
+	StrategyInterleaved
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNaive:
+		return "naive"
+	case StrategyInterleaved:
+		return "interleaved"
+	default:
+		return "strategy?"
+	}
+}
+
+// NoTrial marks an emission outside any measured trial window (flow
+// warm-up, inter-trial gaps, the unmeasured half of a back-to-back
+// window). Deliveries tagged with it are not counted.
+const NoTrial = 0xFFFF
+
+// Trial is one paired measurement window's accounting, per role.
+type Trial struct {
+	// Sent and Delivered count application payload bytes.
+	Sent, Delivered [NumRoles]uint64
+	// DelaySum accumulates one-way delivery delay in nanoseconds over
+	// DelayPkts delivered probe packets.
+	DelaySum  [NumRoles]int64
+	DelayPkts [NumRoles]uint64
+}
+
+// Report is one vantage point's complete audit measurement — what a
+// vantage ships (wire-encoded, see AppendReport) to the cross-vantage
+// aggregator.
+type Report struct {
+	// Vantage identifies the measuring vantage point.
+	Vantage uint16
+	// Inside marks vantages whose probe path stays inside the
+	// supportive ISP (never crossing the transit network) — the
+	// aggregator's lever for localizing a differential.
+	Inside   bool
+	Strategy Strategy
+	Trials   []Trial
+}
+
+// GoodputSamples returns the per-trial goodput ratio (delivered/sent
+// payload bytes) for the role, skipping trials where nothing was sent.
+func (r *Report) GoodputSamples(role Role) []float64 {
+	out := make([]float64, 0, len(r.Trials))
+	for i := range r.Trials {
+		if s := r.Trials[i].Sent[role]; s > 0 {
+			out = append(out, float64(r.Trials[i].Delivered[role])/float64(s))
+		}
+	}
+	return out
+}
+
+// DelaySamples returns the per-trial mean one-way delay in seconds for
+// the role, skipping trials with no delivered packets.
+func (r *Report) DelaySamples(role Role) []float64 {
+	out := make([]float64, 0, len(r.Trials))
+	for i := range r.Trials {
+		if n := r.Trials[i].DelayPkts[role]; n > 0 {
+			out = append(out, float64(r.Trials[i].DelaySum[role])/float64(n)/1e9)
+		}
+	}
+	return out
+}
+
+// ---- wire encoding ------------------------------------------------------
+
+// Report wire format (little-endian):
+//
+//	magic 0xAD | version 1 | vantage u16 | flags u8 | trials u16 | per-trial 64B
+//
+// flags bit0 = inside, bits 1-2 = strategy. Each trial serializes its
+// eight u64 fields in struct order. The format is strict: DecodeReport
+// rejects short bodies, trailing bytes, unknown versions and flag bits,
+// and trial counts beyond MaxReportTrials.
+const (
+	reportMagic   = 0xAD
+	reportVersion = 1
+	reportHdrLen  = 7
+	trialWireLen  = 8 * 8
+	// MaxReportTrials bounds a decoded report's trial count: a corrupt
+	// or hostile length field must not drive a large allocation.
+	MaxReportTrials = 4096
+)
+
+// ErrBadReport is wrapped by every DecodeReport failure.
+var ErrBadReport = errors.New("audit: malformed report")
+
+// AppendReport appends the report's wire encoding to dst.
+func AppendReport(dst []byte, r *Report) ([]byte, error) {
+	if len(r.Trials) > MaxReportTrials {
+		return dst, fmt.Errorf("%w: %d trials exceed %d", ErrBadReport, len(r.Trials), MaxReportTrials)
+	}
+	if r.Strategy > StrategyInterleaved {
+		return dst, fmt.Errorf("%w: unknown strategy %d", ErrBadReport, r.Strategy)
+	}
+	flags := byte(r.Strategy) << 1
+	if r.Inside {
+		flags |= 1
+	}
+	dst = append(dst, reportMagic, reportVersion)
+	dst = binary.LittleEndian.AppendUint16(dst, r.Vantage)
+	dst = append(dst, flags)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Trials)))
+	for i := range r.Trials {
+		t := &r.Trials[i]
+		for role := Role(0); role < NumRoles; role++ {
+			dst = binary.LittleEndian.AppendUint64(dst, t.Sent[role])
+		}
+		for role := Role(0); role < NumRoles; role++ {
+			dst = binary.LittleEndian.AppendUint64(dst, t.Delivered[role])
+		}
+		for role := Role(0); role < NumRoles; role++ {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(t.DelaySum[role]))
+		}
+		for role := Role(0); role < NumRoles; role++ {
+			dst = binary.LittleEndian.AppendUint64(dst, t.DelayPkts[role])
+		}
+	}
+	return dst, nil
+}
+
+// DecodeReport parses a wire-encoded report. It never reads past b and
+// rejects any structural inconsistency.
+func DecodeReport(b []byte) (*Report, error) {
+	if len(b) < reportHdrLen {
+		return nil, fmt.Errorf("%w: %d bytes, need header of %d", ErrBadReport, len(b), reportHdrLen)
+	}
+	if b[0] != reportMagic {
+		return nil, fmt.Errorf("%w: magic 0x%02X", ErrBadReport, b[0])
+	}
+	if b[1] != reportVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadReport, b[1])
+	}
+	flags := b[4]
+	if flags>>3 != 0 {
+		return nil, fmt.Errorf("%w: reserved flag bits 0x%02X", ErrBadReport, flags)
+	}
+	strategy := Strategy(flags >> 1)
+	if strategy > StrategyInterleaved {
+		return nil, fmt.Errorf("%w: strategy %d", ErrBadReport, strategy)
+	}
+	n := int(binary.LittleEndian.Uint16(b[5:7]))
+	if n > MaxReportTrials {
+		return nil, fmt.Errorf("%w: %d trials exceed %d", ErrBadReport, n, MaxReportTrials)
+	}
+	if want := reportHdrLen + n*trialWireLen; len(b) != want {
+		return nil, fmt.Errorf("%w: %d bytes for %d trials, want %d", ErrBadReport, len(b), n, want)
+	}
+	r := &Report{
+		Vantage:  binary.LittleEndian.Uint16(b[2:4]),
+		Inside:   flags&1 != 0,
+		Strategy: strategy,
+		Trials:   make([]Trial, n),
+	}
+	off := reportHdrLen
+	u64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		return v
+	}
+	for i := range r.Trials {
+		t := &r.Trials[i]
+		for role := Role(0); role < NumRoles; role++ {
+			t.Sent[role] = u64()
+		}
+		for role := Role(0); role < NumRoles; role++ {
+			t.Delivered[role] = u64()
+		}
+		for role := Role(0); role < NumRoles; role++ {
+			t.DelaySum[role] = int64(u64())
+		}
+		for role := Role(0); role < NumRoles; role++ {
+			t.DelayPkts[role] = u64()
+		}
+	}
+	return r, nil
+}
+
+// ---- probe payload ------------------------------------------------------
+
+// ProbeHeaderLen is the in-payload probe header: role u8, trial u16,
+// send-time i64 nanoseconds (little-endian). Every probe payload the
+// auditor emits starts with it; the receiving vantage agent parses it
+// to attribute the delivery to (role, trial) and measure one-way delay.
+const ProbeHeaderLen = 11
+
+// PutProbePayload writes the probe header into b (len(b) must be at
+// least ProbeHeaderLen; probe payloads are always larger).
+func PutProbePayload(b []byte, role Role, trial int, sentNanos int64) {
+	b[0] = byte(role)
+	binary.LittleEndian.PutUint16(b[1:3], uint16(trial))
+	binary.LittleEndian.PutUint64(b[3:11], uint64(sentNanos))
+}
+
+// ParseProbePayload reads a probe header; ok is false for payloads too
+// short or with an unknown role.
+func ParseProbePayload(b []byte) (role Role, trial int, sentNanos int64, ok bool) {
+	if len(b) < ProbeHeaderLen || Role(b[0]) >= NumRoles {
+		return 0, 0, 0, false
+	}
+	role = Role(b[0])
+	trial = int(binary.LittleEndian.Uint16(b[1:3]))
+	sentNanos = int64(binary.LittleEndian.Uint64(b[3:11]))
+	return role, trial, sentNanos, true
+}

@@ -9,7 +9,10 @@ import (
 )
 
 // ClassPolicy is the enforcement applied to packets of one class —
-// graded degradation, not the binary drop of the rule-list ISP.
+// graded degradation, not the binary drop of the rule-list ISP. The
+// stealth fields make the enforcement hard to *audit*: each one blunts
+// a naive differential measurement without changing what a throttled
+// user experiences in aggregate (see internal/audit and eval's E8).
 type ClassPolicy struct {
 	// DropProb drops each packet of the class with this probability.
 	DropProb float64
@@ -20,6 +23,81 @@ type ClassPolicy struct {
 	BurstBits float64
 	// Delay holds each packet of the class before forwarding.
 	Delay time.Duration
+
+	// TargetFraction, when in (0,1), applies the policy to only that
+	// fraction of the class's flows, selected by a keyed hash of the
+	// flow key — partial throttling: a flow's fate is stable for its
+	// lifetime, but any single vantage point has only this probability
+	// of ever seeing the differential.
+	TargetFraction float64
+	// DutyPeriod, when positive, duty-cycles enforcement in time: the
+	// policy is active only during the first DutyOn of every DutyPeriod
+	// (time-varying throttling that a one-shot measurement misses and
+	// that spreads a trial series across ON and OFF phases).
+	DutyPeriod time.Duration
+	// DutyOn is the active window within DutyPeriod (default half).
+	DutyOn time.Duration
+	// MinFlowPkts, when positive, exempts flows until they have shown
+	// this many packets — probe evasion: short measurement flows
+	// complete clean while long-lived application flows age into
+	// enforcement. The gate reads the tracker's *windowed* packet
+	// count, which exponential decay keeps below 2x the table's
+	// WindowPkts; NewEngine therefore clamps MinFlowPkts to WindowPkts
+	// (the count's stable floor for a long flow), so enforcement always
+	// engages eventually no matter how large a threshold is configured.
+	MinFlowPkts uint64
+}
+
+// active reports whether the policy's stealth gates allow enforcement
+// for this packet: flow age, duty phase, and per-flow targeting.
+func (p *ClassPolicy) active(stealthSeed uint64, key netem.FlowKey, flowPkts uint64, nowNanos int64) bool {
+	if p.MinFlowPkts > 0 && flowPkts <= p.MinFlowPkts {
+		return false
+	}
+	if p.DutyPeriod > 0 {
+		on := p.DutyOn
+		if on <= 0 {
+			on = p.DutyPeriod / 2
+		}
+		phase := nowNanos % int64(p.DutyPeriod)
+		if phase < 0 {
+			phase += int64(p.DutyPeriod)
+		}
+		if phase >= int64(on) {
+			return false
+		}
+	}
+	if p.TargetFraction > 0 && p.TargetFraction < 1 {
+		if flowFrac(stealthSeed, key) >= p.TargetFraction {
+			return false
+		}
+	}
+	return true
+}
+
+// flowFrac maps a flow key to a stable uniform value in [0,1) under a
+// keyed FNV-1a hash. Allocation-free: it runs per packet on the transit
+// hot path.
+func flowFrac(seed uint64, key netem.FlowKey) float64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64) ^ seed
+	for _, b := range key.Lo {
+		h = (h ^ uint64(b)) * prime64
+	}
+	for _, b := range key.Hi {
+		h = (h ^ uint64(b)) * prime64
+	}
+	h = (h ^ uint64(key.Proto)) * prime64
+	// Final avalanche (splitmix64 tail) so low-entropy keys spread.
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return float64(h>>11) / float64(1<<53)
 }
 
 // Policy maps each class (indexed by Class, including ClassUnknown=0)
@@ -59,13 +137,18 @@ type EngineConfig struct {
 	// Rng drives probabilistic drops; seed it for deterministic
 	// experiments (default: seed 1).
 	Rng *rand.Rand
+	// StealthSeed keys the per-flow TargetFraction hash (default: a
+	// fixed constant, so runs replay bit-identically without consuming
+	// from Rng).
+	StealthSeed uint64
 }
 
 // Engine is the deployable statistical adversary: a flow tracker, a
 // classifier, and per-class enforcement compiled into one transit hook.
 type Engine struct {
-	table *FlowTable
-	pol   Policy
+	table       *FlowTable
+	pol         Policy
+	stealthSeed uint64
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -73,6 +156,7 @@ type Engine struct {
 	dropped  [NumClasses + 1]uint64
 	policed  [NumClasses + 1]uint64
 	enforced [NumClasses + 1]uint64 // packets seen per class after classification
+	exempted [NumClasses + 1]uint64 // packets a stealth gate let pass unenforced
 }
 
 // NewEngine builds an engine; see EngineConfig.
@@ -81,13 +165,28 @@ func NewEngine(cfg EngineConfig) *Engine {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
+	seed := cfg.StealthSeed
+	if seed == 0 {
+		seed = 0x6e65757472616c // stable default: replays stay bit-identical
+	}
+	// The flow tracker's windowed packet count decays (it oscillates in
+	// [WindowPkts, 2*WindowPkts) for a long flow), so a MinFlowPkts at
+	// or above that band would exempt every flow forever. Clamp to the
+	// band's floor: the largest threshold every long flow still crosses.
+	window := cfg.Table.WindowPkts
+	if window == 0 {
+		window = defaultWindowPkts
+	}
 	pol := cfg.Policy
 	for i := range pol {
 		if pol[i].RateBps > 0 && pol[i].BurstBits <= 0 {
 			pol[i].BurstBits = 64 * 1500 * 8
 		}
+		if window > 0 && pol[i].MinFlowPkts > uint64(window) {
+			pol[i].MinFlowPkts = uint64(window)
+		}
 	}
-	return &Engine{table: NewFlowTable(cfg.Table), pol: pol, rng: rng}
+	return &Engine{table: NewFlowTable(cfg.Table), pol: pol, rng: rng, stealthSeed: seed}
 }
 
 // Table exposes the flow tracker for measurement and training.
@@ -115,6 +214,14 @@ func (e *Engine) Seen(c Class) uint64 {
 	return e.enforced[c]
 }
 
+// Exempted reports packets of the class a stealth gate (flow age, duty
+// phase, or per-flow targeting) deliberately let pass unenforced.
+func (e *Engine) Exempted(c Class) uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.exempted[c]
+}
+
 // Hook compiles the engine into a netem transit hook. The per-packet
 // path — flow-key extraction, feature update, classification check,
 // policy decision — allocates nothing.
@@ -125,10 +232,15 @@ func (e *Engine) Hook() netem.TransitHook {
 			return netem.Deliver
 		}
 		nanos := now.UnixNano()
-		class := e.table.Observe(key, fwd, len(pkt), nanos)
+		class, flowPkts := e.table.ObserveN(key, fwd, len(pkt), nanos)
 		p := &e.pol[class]
 		e.mu.Lock()
 		e.enforced[class]++
+		if !p.active(e.stealthSeed, key, flowPkts, nanos) {
+			e.exempted[class]++
+			e.mu.Unlock()
+			return netem.Deliver
+		}
 		if p.RateBps > 0 && !e.buckets[class].allow(float64(len(pkt)*8), p.RateBps, p.BurstBits, nanos) {
 			e.policed[class]++
 			e.mu.Unlock()

@@ -34,6 +34,9 @@ type Config struct {
 	Classifier *Classifier
 }
 
+// defaultWindowPkts is the zero-value decayed feature window.
+const defaultWindowPkts = 512
+
 func (c *Config) fill() {
 	if c.MaxFlows <= 0 {
 		c.MaxFlows = 10240
@@ -45,7 +48,7 @@ func (c *Config) fill() {
 		c.ReclassifyEvery = 64
 	}
 	if c.WindowPkts == 0 {
-		c.WindowPkts = 512
+		c.WindowPkts = defaultWindowPkts
 	}
 	if c.BurstGap <= 0 {
 		c.BurstGap = time.Millisecond
@@ -97,6 +100,15 @@ func NewFlowTable(cfg Config) *FlowTable {
 // allocation: a map lookup, the feature arithmetic, and (periodically)
 // a stack-array classification.
 func (t *FlowTable) Observe(key netem.FlowKey, forward bool, size int, nowNanos int64) Class {
+	class, _ := t.ObserveN(key, forward, size, nowNanos)
+	return class
+}
+
+// ObserveN is Observe returning also the flow's current (windowed)
+// packet count — what probe-evasion enforcement gates on: a stealthy
+// ISP exempts flows younger than a threshold so short measurement
+// probes complete clean.
+func (t *FlowTable) ObserveN(key netem.FlowKey, forward bool, size int, nowNanos int64) (Class, uint64) {
 	t.mu.Lock()
 	t.observed++
 	i, ok := t.idx[key]
@@ -115,9 +127,9 @@ func (t *FlowTable) Observe(key netem.FlowKey, forward bool, size int, nowNanos 
 			}
 		}
 	}
-	class := e.Class
+	class, pkts := e.Class, e.Feat.Pkts
 	t.mu.Unlock()
-	return class
+	return class, pkts
 }
 
 // insertLocked finds a slot for a new flow, evicting if the slab is

@@ -384,17 +384,10 @@ func runArmsCell(cfg ArmsConfig, mode ArmsMode, adv ArmsAdversary, cls *dpi.Clas
 	return run, nil
 }
 
-// buildArmsUDP serializes a plaintext app packet.
+// buildArmsUDP serializes a plaintext app packet of the given payload
+// length (the probe builder with a zeroed payload).
 func buildArmsUDP(src, dst netip.Addr, dport uint16, payloadLen int) []byte {
-	buf := wire.NewSerializeBuffer(wire.IPv4HeaderLen+wire.UDPHeaderLen, payloadLen)
-	buf.PushPayload(make([]byte, payloadLen))
-	if err := wire.SerializeLayers(buf,
-		&wire.IPv4{TTL: wire.MaxTTL, Protocol: wire.ProtoUDP, Src: src, Dst: dst},
-		&wire.UDP{SrcPort: 40000, DstPort: dport},
-	); err != nil {
-		return nil
-	}
-	return buf.Bytes()
+	return buildProbeUDP(src, dst, dport, make([]byte, payloadLen))
 }
 
 // armsRealPayloadLen extracts the delivered application byte count from

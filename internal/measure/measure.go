@@ -8,39 +8,87 @@ package measure
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 )
 
+// DefaultMaxSamples is the histogram's default reservoir bound: below
+// it every sample is kept and quantiles are exact; above it Add switches
+// to uniform reservoir sampling so memory stays capped no matter how
+// many samples a metro-scale flow records.
+const DefaultMaxSamples = 8192
+
 // Histogram collects duration samples and answers quantile queries.
-// It stores raw samples (experiments are small); the zero value is ready
-// to use.
+// The zero value is ready to use. Count, Mean and Max are always exact;
+// quantiles are exact up to the sample bound (DefaultMaxSamples, or
+// SetMaxSamples) and computed over a uniform reservoir beyond it.
 type Histogram struct {
 	samples []time.Duration
 	sorted  bool
 	sum     time.Duration
 	max     time.Duration
+	added   uint64
+	bound   int
+	rng     uint64
+}
+
+// SetMaxSamples caps the retained reservoir at n samples (n <= 0 resets
+// to DefaultMaxSamples). Call it before adding samples: shrinking a
+// reservoir that already overflowed the new bound would bias it, so the
+// new bound only applies to future growth.
+func (h *Histogram) SetMaxSamples(n int) {
+	if n <= 0 {
+		n = DefaultMaxSamples
+	}
+	h.bound = n
 }
 
 // Add records a sample.
 func (h *Histogram) Add(d time.Duration) {
-	h.samples = append(h.samples, d)
-	h.sorted = false
+	h.added++
 	h.sum += d
 	if d > h.max {
 		h.max = d
 	}
+	bound := h.bound
+	if bound <= 0 {
+		bound = DefaultMaxSamples
+	}
+	if len(h.samples) < bound {
+		h.samples = append(h.samples, d)
+		h.sorted = false
+		return
+	}
+	// Reservoir sampling (Vitter's algorithm R): keep the new sample
+	// with probability bound/added, replacing a uniform victim. The
+	// xorshift stream is deterministically seeded, so seeded experiment
+	// replays stay bit-identical.
+	if j := h.nextRand() % h.added; j < uint64(len(h.samples)) {
+		h.samples[j] = d
+		h.sorted = false
+	}
 }
 
-// Count returns the number of samples.
-func (h *Histogram) Count() int { return len(h.samples) }
+// nextRand advances the histogram's private xorshift64* state.
+func (h *Histogram) nextRand() uint64 {
+	if h.rng == 0 {
+		h.rng = 0x9E3779B97F4A7C15
+	}
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	return h.rng * 0x2545F4914F6CDD1D
+}
+
+// Count returns the number of samples recorded (not the reservoir size).
+func (h *Histogram) Count() int { return int(h.added) }
 
 // Mean returns the average sample, or 0 with no samples.
 func (h *Histogram) Mean() time.Duration {
-	if len(h.samples) == 0 {
+	if h.added == 0 {
 		return 0
 	}
-	return h.sum / time.Duration(len(h.samples))
+	return h.sum / time.Duration(h.added)
 }
 
 // Max returns the largest sample.
@@ -53,7 +101,7 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		return 0
 	}
 	if !h.sorted {
-		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		slices.Sort(h.samples)
 		h.sorted = true
 	}
 	if q <= 0 {

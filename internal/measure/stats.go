@@ -1,0 +1,179 @@
+// Nonparametric two-sample tests for the neutrality auditor (package
+// audit): given per-trial measurements of a suspect flow and a control
+// flow, decide whether they were drawn from the same network. Goodput
+// and delay distributions under throttling are anything but normal —
+// bimodal under duty-cycled throttlers, point masses under loss-free
+// paths — so the auditor uses rank and distribution tests, not t-tests.
+
+package measure
+
+import (
+	"math"
+	"slices"
+)
+
+// TestResult is the outcome of a two-sample test.
+type TestResult struct {
+	// Stat is the test statistic: U (the smaller of U1/U2) for
+	// Mann-Whitney, D (the maximum CDF distance) for Kolmogorov-Smirnov.
+	Stat float64
+	// P is the two-sided p-value under the null hypothesis that both
+	// samples come from the same distribution.
+	P float64
+	// Effect is a scale-free effect size: the rank-biserial correlation
+	// for Mann-Whitney (positive when x tends larger than y, in [-1,1]),
+	// and D itself for Kolmogorov-Smirnov.
+	Effect float64
+}
+
+// MannWhitney runs the Mann-Whitney U test (Wilcoxon rank-sum) on two
+// independent samples, using the normal approximation with mid-ranks,
+// tie correction, and continuity correction. Degenerate inputs (an
+// empty sample, or all values tied) return P = 1.
+func MannWhitney(x, y []float64) TestResult {
+	n1, n2 := float64(len(x)), float64(len(y))
+	if n1 == 0 || n2 == 0 {
+		return TestResult{P: 1}
+	}
+	type obs struct {
+		v    float64
+		inX  bool
+		rank float64
+	}
+	all := make([]obs, 0, len(x)+len(y))
+	for _, v := range x {
+		all = append(all, obs{v: v, inX: true})
+	}
+	for _, v := range y {
+		all = append(all, obs{v: v})
+	}
+	slices.SortFunc(all, func(a, b obs) int {
+		switch {
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
+		default:
+			return 0
+		}
+	})
+	// Mid-ranks over tie groups, accumulating the tie correction term
+	// sum(t^3 - t) as each group closes.
+	n := len(all)
+	tieTerm := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j < n && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			all[k].rank = mid
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	r1 := 0.0
+	for _, o := range all {
+		if o.inX {
+			r1 += o.rank
+		}
+	}
+	u1 := r1 - n1*(n1+1)/2
+	u2 := n1*n2 - u1
+	u := math.Min(u1, u2)
+	nn := n1 + n2
+	mu := n1 * n2 / 2
+	sigma2 := n1 * n2 / 12 * ((nn + 1) - tieTerm/(nn*(nn-1)))
+	res := TestResult{Stat: u, Effect: 2*u1/(n1*n2) - 1}
+	if sigma2 <= 0 {
+		res.P = 1
+		return res
+	}
+	// Continuity correction: shrink |U - mu| by 0.5.
+	z := (math.Abs(u-mu) - 0.5) / math.Sqrt(sigma2)
+	if z < 0 {
+		z = 0
+	}
+	res.P = math.Erfc(z / math.Sqrt2)
+	return res
+}
+
+// KolmogorovSmirnov runs the two-sample Kolmogorov-Smirnov test: D is
+// the largest distance between the empirical CDFs, and P uses the
+// asymptotic Kolmogorov distribution with the Stephens small-sample
+// adjustment. Sensitive to any distributional difference — including
+// the shape changes (bimodality) a duty-cycled throttler produces
+// without moving the mean much.
+func KolmogorovSmirnov(x, y []float64) TestResult {
+	n1, n2 := float64(len(x)), float64(len(y))
+	if n1 == 0 || n2 == 0 {
+		return TestResult{P: 1}
+	}
+	xs := slices.Clone(x)
+	ys := slices.Clone(y)
+	slices.Sort(xs)
+	slices.Sort(ys)
+	d, i, j := 0.0, 0, 0
+	for i < len(xs) && j < len(ys) {
+		v := math.Min(xs[i], ys[j])
+		for i < len(xs) && xs[i] <= v {
+			i++
+		}
+		for j < len(ys) && ys[j] <= v {
+			j++
+		}
+		if diff := math.Abs(float64(i)/n1 - float64(j)/n2); diff > d {
+			d = diff
+		}
+	}
+	en := math.Sqrt(n1 * n2 / (n1 + n2))
+	lambda := (en + 0.12 + 0.11/en) * d
+	return TestResult{Stat: d, P: ksProb(lambda), Effect: d}
+}
+
+// ksProb is Q_KS(lambda) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2),
+// the asymptotic tail probability of the Kolmogorov distribution.
+func ksProb(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	a2 := -2 * lambda * lambda
+	sum, sign, prev := 0.0, 1.0, 1.0
+	for j := 1; j <= 100; j++ {
+		term := sign * math.Exp(a2*float64(j)*float64(j))
+		sum += term
+		if math.Abs(term) <= 1e-12*math.Abs(sum) && math.Abs(term) <= 0.1*prev {
+			break
+		}
+		prev = math.Abs(term)
+		sign = -sign
+	}
+	p := 2 * sum
+	switch {
+	case p < 0:
+		return 0
+	case p > 1:
+		return 1
+	default:
+		return p
+	}
+}
+
+// Median returns the sample median (mean of the two central order
+// statistics for even n), or 0 for an empty sample. The auditor's
+// effect thresholds compare medians: robust to the outlier trials a
+// probabilistic throttler produces.
+func Median(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := slices.Clone(x)
+	slices.Sort(s)
+	m := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[m]
+	}
+	return (s[m-1] + s[m]) / 2
+}

@@ -1,0 +1,106 @@
+package trafficgen
+
+import (
+	"math/rand"
+	"time"
+
+	"netneutral/internal/netem"
+)
+
+// ControlSource emits the auditor's control flow: same path, protocol
+// and encapsulation as a suspect application flow, but a shape no
+// trained DPI profile targets — uniformly mixed packet sizes released
+// at memoryless (exponential) gaps, so there is no constant-rate
+// cadence, no burst structure, and no dominant size bucket for a
+// nearest-centroid classifier to latch onto. A differential between
+// this flow and an app-shaped suspect flow over the same path is
+// evidence the network treats the *shape* differently (see
+// internal/audit).
+type ControlSource struct {
+	// Rng supplies per-flow jitter (required for distinct flows; nil
+	// falls back to the simulator's PRNG).
+	Rng *rand.Rand
+	// MeanGap is the average inter-emission gap (default 25ms).
+	MeanGap time.Duration
+	// MinSize/MaxSize bound the uniform payload-size draw (defaults
+	// 300/1300 bytes).
+	MinSize, MaxSize int
+}
+
+func (s *ControlSource) fill(sim *netem.Simulator) *rand.Rand {
+	if s.MeanGap <= 0 {
+		s.MeanGap = 25 * time.Millisecond
+	}
+	if s.MinSize <= 0 {
+		s.MinSize = 300
+	}
+	if s.MaxSize <= s.MinSize {
+		s.MaxSize = s.MinSize + 1000
+	}
+	if s.Rng != nil {
+		return s.Rng
+	}
+	return sim.Rand()
+}
+
+// Run schedules control emissions for duration d; emit receives the
+// per-flow sequence number and the payload size in bytes.
+func (s ControlSource) Run(sim *netem.Simulator, d time.Duration, emit func(seq uint64, size int)) {
+	rng := s.fill(sim)
+	end := sim.Now().Add(d)
+	var seq uint64
+	var step func()
+	step = func() {
+		if sim.Now().After(end) {
+			return
+		}
+		emit(seq, s.MinSize+rng.Intn(s.MaxSize-s.MinSize))
+		seq++
+		sim.Schedule(s.gap(rng), step)
+	}
+	sim.Schedule(s.gap(rng), step)
+}
+
+// RunN schedules a finite burst of exactly n control emissions — the
+// naive audit strategy's short-lived probe flows.
+func (s ControlSource) RunN(sim *netem.Simulator, n int, emit func(seq uint64, size int)) {
+	rng := s.fill(sim)
+	var seq uint64
+	var step func()
+	step = func() {
+		if seq >= uint64(n) {
+			return
+		}
+		emit(seq, s.MinSize+rng.Intn(s.MaxSize-s.MinSize))
+		seq++
+		sim.Schedule(s.gap(rng), step)
+	}
+	sim.Schedule(s.gap(rng), step)
+}
+
+// gap draws an exponential inter-emission gap with mean MeanGap.
+func (s *ControlSource) gap(rng *rand.Rand) time.Duration {
+	return time.Duration(expRand(rng, 1/s.MeanGap.Seconds()) * float64(time.Second))
+}
+
+// RunN schedules a finite burst of exactly n app-shaped emissions (the
+// same size/gap process as Run, bounded by count instead of time): the
+// short app-imitating probe flows of the naive audit strategy.
+func (s AppSource) RunN(sim *netem.Simulator, n int, emit func(seq uint64, size int)) {
+	rng := s.Rng
+	if rng == nil {
+		rng = sim.Rand()
+	}
+	st := &appState{app: s.App, rng: rng}
+	var seq uint64
+	var step func()
+	step = func() {
+		if seq >= uint64(n) {
+			return
+		}
+		emit(seq, st.size())
+		seq++
+		sim.Schedule(st.gap(), step)
+	}
+	sim.Schedule(time.Duration(rng.Int63n(int64(20*time.Millisecond))), step)
+}

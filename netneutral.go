@@ -19,6 +19,8 @@
 //   - NewSimulator: the discrete-event network emulator (internal/netem)
 //   - NewDPIEngine: the statistical traffic-analysis adversary (internal/dpi)
 //   - NewCloakShaper: padding/timing countermeasures (internal/cloak)
+//   - NewAuditProber / AuditDecide / AuditSummarize: the active
+//     neutrality auditor (internal/audit)
 //   - Experiments / ExperimentByID: the paper-reproduction harness (internal/eval)
 //
 // A minimal in-process conversation:
@@ -38,6 +40,7 @@ package netneutral
 import (
 	"time"
 
+	"netneutral/internal/audit"
 	"netneutral/internal/cloak"
 	"netneutral/internal/core"
 	"netneutral/internal/crypto/aesutil"
@@ -158,6 +161,48 @@ type CloakClock = cloak.Clock
 // NewCloakShaper creates a shaper emitting cloaked frames through emit.
 func NewCloakShaper(cfg CloakConfig, clk CloakClock, emit func(frame []byte)) *CloakShaper {
 	return cloak.NewShaper(cfg, clk, emit)
+}
+
+// AuditProber runs one vantage point's paired differential probe (an
+// app-shaped suspect flow vs a shape-neutral control flow) and
+// accounts per-trial goodput, delay and loss — the end-host side of
+// detecting discrimination, complementing the neutralizer's prevention.
+type AuditProber = audit.Prober
+
+// AuditProberConfig configures an AuditProber.
+type AuditProberConfig = audit.ProberConfig
+
+// NewAuditProber validates the config and prepares the trial ledger;
+// call Run to schedule the probe on its simulator.
+func NewAuditProber(cfg AuditProberConfig) (*AuditProber, error) { return audit.NewProber(cfg) }
+
+// AuditReport is one vantage's measurement, with a strict wire
+// encoding (audit.AppendReport / audit.DecodeReport) for shipping to
+// an aggregator.
+type AuditReport = audit.Report
+
+// AuditVerdict is one vantage's statistical decision.
+type AuditVerdict = audit.Verdict
+
+// AuditDecisionConfig parameterizes the per-vantage decision rule; the
+// zero value gets conservative defaults.
+type AuditDecisionConfig = audit.DecisionConfig
+
+// AuditSummary is the cross-vantage aggregation: detection power, the
+// ISP-level ruling, and path-segment localization.
+type AuditSummary = audit.Summary
+
+// AuditDecide applies the differential decision rule (Mann-Whitney,
+// Kolmogorov-Smirnov and exceedance tests with practical-effect gates)
+// to one vantage report.
+func AuditDecide(r *AuditReport, cfg AuditDecisionConfig) AuditVerdict {
+	return audit.Decide(r, cfg)
+}
+
+// AuditSummarize decides each report and aggregates across vantages;
+// minFraction <= 0 selects the default aggregation threshold.
+func AuditSummarize(reports []*AuditReport, cfg AuditDecisionConfig, minFraction float64) AuditSummary {
+	return audit.Summarize(reports, cfg, minFraction)
 }
 
 // Experiment is one registered paper-reproduction unit.

@@ -12,7 +12,11 @@
 // BenchmarkDPIFeatureUpdate and BenchmarkDPIClassify must be zero-alloc
 // (they sit on the transit hot path), the classifier's held-out
 // accuracy on encrypted uncloaked traffic must reach 0.90, and the
-// cloak goodput overhead (wire bytes per real byte) is recorded.
+// cloak goodput overhead (wire bytes per real byte) is recorded. The
+// audit checks complete the set: BenchmarkAuditTrial's measured
+// detection power against blatant dpi throttling must reach 0.90
+// (audit_detection_power) and its neutral-ISP false-positive rate must
+// stay at or below 0.05 (audit_false_positive_rate).
 package main
 
 import (
@@ -47,6 +51,11 @@ type Bench struct {
 	// per real byte).
 	Accuracy *float64 `json:"accuracy,omitempty"`
 	Overhead *float64 `json:"overhead_x_real,omitempty"`
+	// Power and FPR carry BenchmarkAuditTrial's "power" (detection
+	// power against blatant dpi throttling) and "fpr" (neutral-ISP
+	// false-positive rate) metrics.
+	Power *float64 `json:"audit_power,omitempty"`
+	FPR   *float64 `json:"audit_fpr,omitempty"`
 }
 
 // Report is the BENCH_*.json document.
@@ -126,6 +135,10 @@ func main() {
 				b.Accuracy = ptr(v)
 			case "xreal":
 				b.Overhead = ptr(v)
+			case "power":
+				b.Power = ptr(v)
+			case "fpr":
+				b.FPR = ptr(v)
 			}
 		}
 		if b.Kpps == 0 && b.NsPerOp > 0 {
@@ -154,7 +167,7 @@ func ptr(v float64) *float64 { return &v }
 // evalChecks records the acceptance checks for the zero-alloc sharded
 // data plane.
 func evalChecks(rep *Report) {
-	var batch, fwd, metro, dpiClassify, dpiUpdate, cloakFrame *Bench
+	var batch, fwd, metro, dpiClassify, dpiUpdate, cloakFrame, auditTrial *Bench
 	rates := map[string]float64{}
 	for i, b := range rep.Benchmarks {
 		if strings.HasPrefix(b.Name, "BenchmarkProcessBatch/") {
@@ -174,6 +187,9 @@ func evalChecks(rep *Report) {
 		}
 		if b.Name == "BenchmarkCloakFrame" {
 			cloakFrame = &rep.Benchmarks[i]
+		}
+		if b.Name == "BenchmarkAuditTrial" {
+			auditTrial = &rep.Benchmarks[i]
 		}
 		if strings.HasPrefix(b.Name, "BenchmarkDataPathParallel/") {
 			if i := strings.Index(b.Name, "workers="); i >= 0 {
@@ -226,6 +242,26 @@ func evalChecks(rep *Report) {
 	default:
 		rep.Checks["cloak_goodput_overhead"] = fmt.Sprintf(
 			"recorded (%.2fx wire bytes per real byte under the E7 cloak)", *cloakFrame.Overhead)
+	}
+	switch {
+	case auditTrial == nil:
+		rep.Checks["audit_detection_power"] = "not run"
+	case auditTrial.Power == nil:
+		rep.Checks["audit_detection_power"] = "FAIL (power metric missing)"
+	case *auditTrial.Power >= 0.90:
+		rep.Checks["audit_detection_power"] = fmt.Sprintf("pass (%.2f vs blatant dpi throttling, want >= 0.90)", *auditTrial.Power)
+	default:
+		rep.Checks["audit_detection_power"] = fmt.Sprintf("FAIL (%.2f, want >= 0.90)", *auditTrial.Power)
+	}
+	switch {
+	case auditTrial == nil:
+		rep.Checks["audit_false_positive_rate"] = "not run"
+	case auditTrial.FPR == nil:
+		rep.Checks["audit_false_positive_rate"] = "FAIL (fpr metric missing)"
+	case *auditTrial.FPR <= 0.05:
+		rep.Checks["audit_false_positive_rate"] = fmt.Sprintf("pass (%.3f on the neutral ISP, want <= 0.05)", *auditTrial.FPR)
+	default:
+		rep.Checks["audit_false_positive_rate"] = fmt.Sprintf("FAIL (%.3f, want <= 0.05)", *auditTrial.FPR)
 	}
 	r1, r4 := rates["1"], rates["4"]
 	switch {
