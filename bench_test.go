@@ -378,6 +378,44 @@ func BenchmarkNetemMetro(b *testing.B) {
 	}
 }
 
+// BenchmarkNetemMetroParallel measures the sharded conservative engine
+// across worker counts on the E9 workload: neutralized downstream load
+// plus intra-subtree host chatter on a 2048-host fan-out (10 shards),
+// one 100ms simulated chunk per op — long enough that every host's
+// chatter interval (~26ms at these rates) fits several emissions, and
+// RunChunk's scheduled-count return is checked so the chatter half of
+// the workload can never silently truncate to zero. scripts/benchjson
+// records each worker count's events/s as netem_parallel_events_per_sec
+// and enforces the 4-vs-1 worker speedup (>= 2x) on hosts with >= 4
+// cores — the same gate the PR-1 data-plane scaling check uses. With a
+// fixed seed the simulation outcome is bit-identical at every worker
+// count (E9 enforces that); only the wall clock may differ.
+func BenchmarkNetemMetroParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			fix, err := eval.NewParMetroBench(2048, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			const chunk = 100 * time.Millisecond
+			if fix.RunChunk(chunk) == 0 { // warm pools, queues, shard plan
+				b.Fatal("chunk scheduled no intra-subtree chatter; wrong workload")
+			}
+			ev0 := fix.Events()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if fix.RunChunk(chunk) == 0 {
+					b.Fatal("chunk scheduled no intra-subtree chatter; wrong workload")
+				}
+			}
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(fix.Events()-ev0)/sec, "events/s")
+			}
+		})
+	}
+}
+
 // dpiBenchState lazily builds the shared DPI fixture (a trained
 // classifier, held-out labeled vectors with measured accuracy, and the
 // cloak cost) so the dpi/cloak benchmarks pay the simulation setup

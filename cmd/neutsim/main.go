@@ -25,9 +25,18 @@
 // and path-segment localization. A failed audit verdict exits
 // non-zero; CI smokes it at reduced scale.
 //
+// With -parscale it runs the E9 parallel-scaling sweep: the metro
+// workload (downstream neutralized load plus intra-subtree chatter) at
+// worker counts 1/2/4, enforcing that every deterministic outcome is
+// bit-identical across worker counts and reporting events/sec per
+// worker count. A determinism violation exits non-zero; CI smokes it at
+// reduced scale.
+//
 // -seed threads one seed through every RNG in the run — simulator,
 // policies, per-flow jitter, and end-host identity generation — so any
-// scenario replays bit-identically.
+// scenario replays bit-identically. -simworkers picks how many threads
+// execute the sharded metro/audit engines; by the engine's determinism
+// contract it changes wall-clock time, never results.
 //
 // Usage:
 //
@@ -35,8 +44,10 @@
 //	neutsim -neutralize=false     # only the plain phase
 //	neutsim -packets 50 -trace    # per-packet trace of the AT&T segment
 //	neutsim -hosts 10000 -duration 2s -seed 7   # metro-scale run
+//	neutsim -hosts 1000 -simworkers 2           # metro on 2 workers
 //	neutsim -arms -flows 8 -duration 2s -seed 7 # arms race, 8 flows/class
 //	neutsim -audit -vantages 8 -trials 10 -seed 7 # neutrality audit
+//	neutsim -parscale -hosts 2000 -duration 500ms # E9 worker sweep
 package main
 
 import (
@@ -79,13 +90,19 @@ func main() {
 	arms := flag.Bool("arms", false, "run the E7 arms-race scenario (dpi adversary vs cloaking)")
 	flows := flag.Int("flows", 25, "arms race: flows per application class")
 	auditFlag := flag.Bool("audit", false, "run the E8 neutrality audit (differential probing vs stealthy throttling)")
+	parscale := flag.Bool("parscale", false, "run the E9 parallel-scaling sweep (worker counts 1/2/4, bit-identical outcomes enforced)")
+	simWorkers := flag.Int("simworkers", 1, "threads executing the sharded metro/audit engine (results are identical at any value)")
 	vantages := flag.Int("vantages", 12, "audit: outside vantage points (inside reference vantages scale as 1/3)")
 	trials := flag.Int("trials", 12, "audit: paired measurement trials per vantage")
 	duration := flag.Duration("duration", 2*time.Second, "simulated traffic duration for the metro/arms scenarios")
 	flag.Parse()
 
+	if *parscale {
+		runParScale(*hosts, *seed, *duration)
+		return
+	}
 	if *auditFlag {
-		runAudit(*vantages, *trials, *seed)
+		runAudit(*vantages, *trials, *seed, *simWorkers)
 		return
 	}
 	if *arms {
@@ -93,7 +110,7 @@ func main() {
 		return
 	}
 	if *hosts > 0 {
-		runMetro(*hosts, *seed, *duration)
+		runMetro(*hosts, *seed, *duration, *simWorkers)
 		return
 	}
 
@@ -113,15 +130,15 @@ func main() {
 
 // runAudit drives the E8 audit matrix and narrates the detection
 // ladder; any failed verdict (see eval.RunAudit) exits non-zero.
-func runAudit(vantages, trials int, seed int64) {
+func runAudit(vantages, trials int, seed int64, workers int) {
 	inside := vantages / 3
 	if inside < 1 {
 		inside = 1
 	}
-	fmt.Printf("== neutrality audit: %d outside + %d inside vantages, %d paired trials each ==\n",
-		vantages, inside, trials)
+	fmt.Printf("== neutrality audit: %d outside + %d inside vantages, %d paired trials each, %d sim worker(s) ==\n",
+		vantages, inside, trials, workers)
 	st, err := eval.RunAudit(eval.AuditConfig{
-		Vantages: vantages, InsideVantages: inside, Trials: trials, Seed: seed,
+		Vantages: vantages, InsideVantages: inside, Trials: trials, Seed: seed, Workers: workers,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -180,19 +197,42 @@ func runArms(flowsPerClass int, seed int64, duration time.Duration) {
 
 // runMetro drives the metro-scale fan-out scenario and narrates the
 // engine-level numbers.
-func runMetro(hosts int, seed int64, duration time.Duration) {
-	fmt.Printf("== metro scale: %d customers behind one neutralizer domain ==\n", hosts)
-	st, err := eval.RunMetro(eval.MetroConfig{Hosts: hosts, Seed: seed, Duration: duration})
+func runMetro(hosts int, seed int64, duration time.Duration, workers int) {
+	fmt.Printf("== metro scale: %d customers behind one neutralizer domain, %d sim worker(s) ==\n", hosts, workers)
+	st, err := eval.RunMetro(eval.MetroConfig{Hosts: hosts, Seed: seed, Duration: duration, Workers: workers})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("topology        %d hosts built in %v\n", st.Hosts, st.BuildTime.Round(time.Millisecond))
+	fmt.Printf("topology        %d hosts (%d shards) built in %v\n", st.Hosts, st.Shards, st.BuildTime.Round(time.Millisecond))
 	fmt.Printf("traffic         %d neutralized packets over %v simulated\n", st.Sent, duration)
 	fmt.Printf("delivered       %d/%d (dropped %d)\n", st.Delivered, st.Sent, st.Dropped)
 	fmt.Printf("classifier hits %d — the transit ISP cannot single out a customer\n", st.ClassifierHits)
 	fmt.Printf("engine          %d sim events in %v wall: %.0f events/sec, %.0f fwd pps, %.0f delivered pps\n",
 		st.SimEvents, st.RunTime.Round(time.Millisecond), st.EventsPerSec, st.ForwardPps, st.DeliveredPps)
 	fmt.Printf("packet pool     %d buffers backed %d checkouts\n", st.PoolAllocated, st.PoolGets)
+}
+
+// runParScale drives the E9 worker sweep; RunParScale exits non-zero
+// (via log.Fatal) when any worker count produces a different outcome.
+func runParScale(hosts int, seed int64, duration time.Duration) {
+	if hosts <= 0 {
+		hosts = 10000
+	}
+	fmt.Printf("== parallel scaling: %d customers, worker sweep with bit-identical replay ==\n", hosts)
+	st, err := eval.RunParScale(eval.ParScaleConfig{
+		Hosts: hosts, Seed: seed, Duration: duration, Workers: []int{1, 2, 4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	first := st.Runs[0].Stats
+	fmt.Printf("workload        %d neutralized + %d intra-subtree packets across %d shards\n",
+		first.Sent, first.LocalSent, first.Shards)
+	for _, r := range st.Runs {
+		fmt.Printf("workers=%d       %12.0f events/sec  (%.2fx of 1 worker)\n",
+			r.Workers, r.Stats.EventsPerSec, r.Speedup)
+	}
+	fmt.Println("determinism     verified: identical outcomes at every worker count")
 }
 
 func buildWorld(seed int64) (*netem.Simulator, *netem.Node, *netem.Node, *netem.Node, *netem.Node, *core.Neutralizer) {

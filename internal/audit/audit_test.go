@@ -253,7 +253,7 @@ func proberWorld(t *testing.T, strategy Strategy, hook netem.TransitHook) *Repor
 	}
 	var err error
 	p, err = NewProber(ProberConfig{
-		Sim:      sim,
+		On:       sim,
 		Rng:      rand.New(rand.NewSource(10)),
 		Strategy: strategy,
 		Trials:   12,
@@ -332,7 +332,7 @@ func TestProberNaiveFreshFlowsPerTrial(t *testing.T) {
 	}
 	counts := map[fk]int{}
 	p, err := NewProber(ProberConfig{
-		Sim:      sim,
+		On:       sim,
 		Rng:      rand.New(rand.NewSource(12)),
 		Strategy: StrategyNaive,
 		Trials:   5,

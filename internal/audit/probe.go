@@ -12,8 +12,11 @@ import (
 // ProberConfig configures one vantage's paired probe run; zero values
 // get the defaults noted per field.
 type ProberConfig struct {
-	// Sim is the simulator the probe flows run on (required).
-	Sim *netem.Simulator
+	// On is the scheduling context the probe flows run on (required):
+	// the simulator for single-threaded runs, or the vantage's source
+	// node on sharded simulations, so every emission executes on (and
+	// draws its timing from) the shard that owns the vantage.
+	On netem.Context
 	// Rng drives flow jitter; seed it so an audit replays bit-
 	// identically (required).
 	Rng *rand.Rand
@@ -44,8 +47,8 @@ type ProberConfig struct {
 }
 
 func (c *ProberConfig) fill() error {
-	if c.Sim == nil || c.Rng == nil || c.Emit == nil {
-		return fmt.Errorf("audit: ProberConfig needs Sim, Rng and Emit")
+	if c.On == nil || c.Rng == nil || c.Emit == nil {
+		return fmt.Errorf("audit: ProberConfig needs On, Rng and Emit")
 	}
 	if c.Trials <= 0 {
 		c.Trials = 12
@@ -69,8 +72,11 @@ func (c *ProberConfig) fill() error {
 }
 
 // Prober runs one vantage's paired differential probe and accounts the
-// results into per-trial records. All methods run on the simulator's
-// single-threaded event loop — no locking.
+// results into per-trial records. Emission accounting runs on the
+// vantage's scheduling context; delivery accounting (Deliver /
+// HandleProbe) runs on the probe target's shard. The two sides write
+// disjoint Trial fields (Sent vs Delivered/DelaySum/DelayPkts), so a
+// sharded run needs no locking and stays deterministic.
 type Prober struct {
 	cfg    ProberConfig
 	start  time.Time
@@ -95,7 +101,7 @@ func (p *Prober) Duration() time.Duration {
 
 // Run schedules the whole probe on the simulator, starting now.
 func (p *Prober) Run() {
-	p.start = p.cfg.Sim.Now()
+	p.start = p.cfg.On.Now()
 	if p.cfg.Strategy == StrategyNaive {
 		p.runNaive()
 		return
@@ -110,26 +116,26 @@ func (p *Prober) runInterleaved() {
 	total := p.Duration()
 	suspectRng := rand.New(rand.NewSource(p.cfg.Rng.Int63()))
 	controlRng := rand.New(rand.NewSource(p.cfg.Rng.Int63()))
-	trafficgen.AppSource{App: p.cfg.Suspect, Rng: suspectRng}.Run(p.cfg.Sim, total, p.emitFn(RoleSuspect))
-	trafficgen.ControlSource{Rng: controlRng}.Run(p.cfg.Sim, total, p.emitFn(RoleControl))
+	trafficgen.AppSource{App: p.cfg.Suspect, Rng: suspectRng}.Run(p.cfg.On, total, p.emitFn(RoleSuspect))
+	trafficgen.ControlSource{Rng: controlRng}.Run(p.cfg.On, total, p.emitFn(RoleControl))
 }
 
 // runNaive schedules per-trial fresh bursts: suspect at each trial
 // start, control at the half period — back-to-back by construction.
 func (p *Prober) runNaive() {
-	sim := p.cfg.Sim
+	on := p.cfg.On
 	for t := 0; t < p.cfg.Trials; t++ {
 		trial := t
 		suspectRng := rand.New(rand.NewSource(p.cfg.Rng.Int63()))
 		controlRng := rand.New(rand.NewSource(p.cfg.Rng.Int63()))
 		at := time.Duration(t) * p.cfg.NaivePeriod
-		sim.Schedule(at, func() {
+		on.Schedule(at, func() {
 			trafficgen.AppSource{App: p.cfg.Suspect, Rng: suspectRng}.
-				RunN(sim, p.cfg.NaivePackets, p.burstEmit(RoleSuspect, trial))
+				RunN(on, p.cfg.NaivePackets, p.burstEmit(RoleSuspect, trial))
 		})
-		sim.Schedule(at+p.cfg.NaivePeriod/2, func() {
+		on.Schedule(at+p.cfg.NaivePeriod/2, func() {
 			trafficgen.ControlSource{Rng: controlRng}.
-				RunN(sim, p.cfg.NaivePackets, p.burstEmit(RoleControl, trial))
+				RunN(on, p.cfg.NaivePackets, p.burstEmit(RoleControl, trial))
 		})
 	}
 }
@@ -138,7 +144,7 @@ func (p *Prober) runNaive() {
 // measuring window, then transmit.
 func (p *Prober) emitFn(role Role) func(seq uint64, size int) {
 	return func(_ uint64, size int) {
-		trial := p.measuredTrial(role, p.cfg.Sim.Now())
+		trial := p.measuredTrial(role, p.cfg.On.Now())
 		if trial != NoTrial {
 			p.trials[trial].Sent[role] += uint64(size)
 		}

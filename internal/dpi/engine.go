@@ -3,6 +3,7 @@ package dpi
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netneutral/internal/netem"
@@ -145,10 +146,17 @@ type EngineConfig struct {
 
 // Engine is the deployable statistical adversary: a flow tracker, a
 // classifier, and per-class enforcement compiled into one transit hook.
+//
+// An engine is shard-pinned: flows are local to the node observing them,
+// so the engine's flow table, token buckets, and RNG are owned by the
+// shard of the node its hook is attached to. Attaching one engine to
+// nodes on different shards would race the tracker and break replay
+// determinism; the hook detects that and panics (pinShard).
 type Engine struct {
 	table       *FlowTable
 	pol         Policy
 	stealthSeed uint64
+	pinShard    atomic.Int32 // 1 + shard id of the observing node; 0 = unset
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -227,6 +235,14 @@ func (e *Engine) Exempted(c Class) uint64 {
 // policy decision — allocates nothing.
 func (e *Engine) Hook() netem.TransitHook {
 	return func(now time.Time, node *netem.Node, pkt []byte) netem.Verdict {
+		if node != nil { // direct hook invocations in tests pass no node
+			if sid := int32(node.ShardID()) + 1; e.pinShard.Load() != sid {
+				// Slow path: first packet pins; a different shard panics.
+				if !e.pinShard.CompareAndSwap(0, sid) {
+					panic("dpi: engine observed packets on two shards; attach one engine per ingress shard")
+				}
+			}
+		}
 		key, fwd, ok := netem.FlowKeyOf(pkt)
 		if !ok {
 			return netem.Deliver

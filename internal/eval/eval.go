@@ -75,6 +75,7 @@ func All() []Experiment {
 		{"E6", "Metro-scale emulation (10k customers, one neutralizer domain)", RunE6},
 		{"E7", armsTitle, RunE7},
 		{"E8", auditTitle, RunE8},
+		{"E9", parScaleTitle, RunE9},
 		{"F1", "Figure 1: customer indistinguishability inside a discriminatory ISP", RunF1},
 		{"F2", "Figure 2: protocol walk with eavesdropper assertions", RunF2},
 		{"A1", "§3.2 ablation: chosen key setup vs certified-pubkey alternative", RunA1},

@@ -1,0 +1,75 @@
+// Shared fan-out experiment environment. E6 (metro), E7 (arms race),
+// E8 (audit) and E9 (parallel scaling) all run on the same substrate —
+// a seeded simulator, a BuildFanout topology, the master-key schedule,
+// and per-flow shim credentials the stateless border re-derives — and
+// each used to stamp that boilerplate out by hand. fanoutEnv derives it
+// once, identically, so the seeded identity plan cannot drift between
+// experiments.
+package eval
+
+import (
+	"net/netip"
+	"time"
+
+	"netneutral/internal/core"
+	"netneutral/internal/crypto/aesutil"
+	"netneutral/internal/crypto/keys"
+	"netneutral/internal/netem"
+	"netneutral/internal/shim"
+)
+
+// fanoutEnv is the shared substrate of the fan-out experiments.
+type fanoutEnv struct {
+	Sim   *netem.Simulator
+	Fan   *netem.Fanout
+	Sched *keys.Schedule
+	Epoch keys.Epoch
+}
+
+// newFanoutEnv builds a seeded simulator with the given fan-out and the
+// experiments' canonical master-key schedule (key {7}, hourly epochs,
+// anchored at the benchmark start time).
+func newFanoutEnv(seed int64, spec netem.FanoutSpec) (*fanoutEnv, error) {
+	sim := netem.NewSimulator(benchStart, seed)
+	f, err := netem.BuildFanout(sim, spec)
+	if err != nil {
+		return nil, err
+	}
+	sched := keys.NewSchedule(aesutil.Key{7}, benchStart, time.Hour)
+	return &fanoutEnv{Sim: sim, Fan: f, Sched: sched, Epoch: sched.EpochAt(sim.Now())}, nil
+}
+
+// attachNeutralizer wires the stateless core at the border on the
+// zero-alloc scratch path, clocked by the border's shard so sharded
+// runs read exact event time.
+func (e *fanoutEnv) attachNeutralizer() error {
+	neut, err := core.New(core.Config{
+		Schedule:   e.Sched,
+		Anycast:    e.Fan.Spec.Anycast,
+		IsCustomer: e.Fan.CustomerNet.Contains,
+		Clock:      e.Fan.Border.Now,
+	})
+	if err != nil {
+		return err
+	}
+	AttachNeutralizerScratch(e.Fan.Border, neut)
+	return nil
+}
+
+// shimCred derives one flow's shim data header: the session key comes
+// from (epoch, nonce, src) — exactly what the stateless border will
+// re-derive — and dst is sealed into the hidden address block.
+func (e *fanoutEnv) shimCred(src, dst netip.Addr, nonce keys.Nonce, tweak [8]byte, innerProto uint8) (shim.Header, error) {
+	ks, err := e.Sched.SessionKey(e.Epoch, nonce, src)
+	if err != nil {
+		return shim.Header{}, err
+	}
+	blk, err := aesutil.EncryptAddr(ks, dst, tweak)
+	if err != nil {
+		return shim.Header{}, err
+	}
+	return shim.Header{
+		Type: shim.TypeData, InnerProto: innerProto,
+		Epoch: e.Epoch, Nonce: nonce, HiddenAddr: blk,
+	}, nil
+}

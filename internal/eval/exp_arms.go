@@ -24,8 +24,6 @@ import (
 	"time"
 
 	"netneutral/internal/cloak"
-	"netneutral/internal/core"
-	"netneutral/internal/crypto/aesutil"
 	"netneutral/internal/crypto/keys"
 	"netneutral/internal/dpi"
 	"netneutral/internal/isp"
@@ -187,33 +185,26 @@ type armsRun struct {
 // jitter streams).
 func runArmsCell(cfg ArmsConfig, mode ArmsMode, adv ArmsAdversary, cls *dpi.Classifier, seedSalt int64) (*armsRun, error) {
 	nFlows := trafficgen.NumApps * cfg.FlowsPerClass
-	sim := netem.NewSimulator(benchStart, cfg.Seed+seedSalt)
 	qlen := 8 * nFlows
 	if qlen < 512 {
 		qlen = 512
 	}
 	link := netem.LinkConfig{Delay: time.Millisecond, QueueLen: qlen}
-	f, err := netem.BuildFanout(sim, netem.FanoutSpec{
+	// E7 runs unsharded: its flows all originate outside and the cloak
+	// shapers schedule on the simulator, which is exactly the
+	// single-shard contract.
+	env, err := newFanoutEnv(cfg.Seed+seedSalt, netem.FanoutSpec{
 		Hosts: nFlows, Outside: nFlows,
 		HostLink: link, EdgeLink: link, TransitLink: link, OutsideLink: link,
 	})
 	if err != nil {
 		return nil, err
 	}
-
-	sched := keys.NewSchedule(aesutil.Key{7}, benchStart, time.Hour)
-	epoch := sched.EpochAt(sim.Now())
+	sim, f := env.Sim, env.Fan
 	if mode != ModePlaintext {
-		neut, err := core.New(core.Config{
-			Schedule:   sched,
-			Anycast:    f.Spec.Anycast,
-			IsCustomer: f.CustomerNet.Contains,
-			Clock:      sim.Now,
-		})
-		if err != nil {
+		if err := env.attachNeutralizer(); err != nil {
 			return nil, err
 		}
-		AttachNeutralizerScratch(f.Border, neut)
 	}
 
 	run := &armsRun{
@@ -292,15 +283,11 @@ func runArmsCell(cfg ArmsConfig, mode ArmsMode, adv ArmsAdversary, cls *dpi.Clas
 			// derivable by the stateless core from (epoch, nonce, src).
 			var nonce keys.Nonce
 			nonce[0], nonce[1], nonce[7] = byte(i>>8), byte(i), 0xE7
-			ks, err := sched.SessionKey(epoch, nonce, src.Addr())
+			hdr, err := env.shimCred(src.Addr(), dst, nonce, [8]byte{byte(i), byte(i >> 8), 0xA7}, 0)
 			if err != nil {
 				return nil, err
 			}
-			blk, err := aesutil.EncryptAddr(ks, dst, [8]byte{byte(i), byte(i >> 8), 0xA7})
-			if err != nil {
-				return nil, err
-			}
-			sh := &shim.Header{Type: shim.TypeData, InnerProto: 0, Epoch: epoch, Nonce: nonce, HiddenAddr: blk}
+			sh := &hdr
 			srcAddr := src.Addr()
 			sendShim := func(payload []byte) {
 				pkt, err := buildShim(srcAddr, f.Spec.Anycast, sh, payload)

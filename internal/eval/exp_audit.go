@@ -30,8 +30,6 @@ import (
 	"time"
 
 	"netneutral/internal/audit"
-	"netneutral/internal/core"
-	"netneutral/internal/crypto/aesutil"
 	"netneutral/internal/crypto/keys"
 	"netneutral/internal/dpi"
 	"netneutral/internal/isp"
@@ -99,6 +97,10 @@ type AuditConfig struct {
 	NaivePackets int
 	// Seed drives every RNG in the experiment.
 	Seed int64
+	// Workers is how many threads execute each cell's sharded engine
+	// (default 1; the audit outcome — report wire bytes included — is
+	// bit-identical at every value).
+	Workers int
 }
 
 func (c *AuditConfig) fill() {
@@ -116,6 +118,9 @@ func (c *AuditConfig) fill() {
 	}
 	if c.NaivePackets <= 0 {
 		c.NaivePackets = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
 	}
 }
 
@@ -183,7 +188,6 @@ func auditPolicy(kind AuditISP, naivePkts int) dpi.Policy {
 // probe, and aggregates the wire-encoded reports.
 func runAuditCell(cfg AuditConfig, kind AuditISP, mode ArmsMode, strat audit.Strategy, cls *dpi.Classifier, salt int64) (*AuditCell, error) {
 	V, I, T := cfg.Vantages, cfg.InsideVantages, cfg.Trials
-	sim := netem.NewSimulator(benchStart, cfg.Seed+salt)
 
 	// Node plan. Outside sources: one per (vantage, role) for the
 	// interleaved strategy; one per (vantage, role, trial) for naive,
@@ -201,9 +205,9 @@ func runAuditCell(cfg AuditConfig, kind AuditISP, mode ArmsMode, strat audit.Str
 		}
 		return v*2 + role
 	}
-	targetIdx := func(v, role int) int { return v*2 + role }              // outside targets
-	inTargetIdx := func(i, role int) int { return V*2 + i*2 + role }      // inside targets
-	inSrcBase := V*2 + I*2                                                // inside sources
+	targetIdx := func(v, role int) int { return v*2 + role }         // outside targets
+	inTargetIdx := func(i, role int) int { return V*2 + i*2 + role } // inside targets
+	inSrcBase := V*2 + I*2                                           // inside sources
 	inSrcIdx := func(i, trial, role int) int {
 		if strat == audit.StrategyNaive {
 			return inSrcBase + (i*T+trial)*2 + role
@@ -218,27 +222,24 @@ func runAuditCell(cfg AuditConfig, kind AuditISP, mode ArmsMode, strat audit.Str
 		qlen = 512
 	}
 	link := netem.LinkConfig{Delay: time.Millisecond, QueueLen: qlen}
-	f, err := netem.BuildFanout(sim, netem.FanoutSpec{
-		Hosts: nHosts, Outside: nOut,
+	// The fan-out is sharded — outside+transit / border / customer
+	// subtree — with one edge covering every probe host, so each
+	// vantage's two accounting sides (emission on the source shard,
+	// delivery on the host shard) land on exactly one shard each.
+	env, err := newFanoutEnv(cfg.Seed+salt, netem.FanoutSpec{
+		Hosts: nHosts, Outside: nOut, HostsPerEdge: nHosts,
 		HostLink: link, EdgeLink: link, TransitLink: link, OutsideLink: link,
+		ShardSubtrees: true,
 	})
 	if err != nil {
 		return nil, err
 	}
-
-	sched := keys.NewSchedule(aesutil.Key{7}, benchStart, time.Hour)
-	epoch := sched.EpochAt(sim.Now())
+	sim, f := env.Sim, env.Fan
+	sim.SetWorkers(cfg.Workers)
 	if mode != ModePlaintext {
-		neut, err := core.New(core.Config{
-			Schedule:   sched,
-			Anycast:    f.Spec.Anycast,
-			IsCustomer: f.CustomerNet.Contains,
-			Clock:      sim.Now,
-		})
-		if err != nil {
+		if err := env.attachNeutralizer(); err != nil {
 			return nil, err
 		}
-		AttachNeutralizerScratch(f.Border, neut)
 	}
 
 	// The audited ISP at the transit router.
@@ -281,23 +282,15 @@ func runAuditCell(cfg AuditConfig, kind AuditISP, mode ArmsMode, strat audit.Str
 			dst := f.HostAddr(targetIdx(v, role))
 			var nonce keys.Nonce
 			nonce[0], nonce[1], nonce[7] = byte(idx>>8), byte(idx), 0xE8
-			ks, err := sched.SessionKey(epoch, nonce, src.Addr())
+			sh, err := env.shimCred(src.Addr(), dst, nonce, [8]byte{byte(idx), byte(idx >> 8), 0xA8}, 0)
 			if err != nil {
 				return nil, err
 			}
-			blk, err := aesutil.EncryptAddr(ks, dst, [8]byte{byte(idx), byte(idx >> 8), 0xA8})
-			if err != nil {
-				return nil, err
-			}
-			creds[idx] = cred{
-				sh:  shim.Header{Type: shim.TypeData, InnerProto: 0, Epoch: epoch, Nonce: nonce, HiddenAddr: blk},
-				dst: dst,
-			}
+			creds[idx] = cred{sh: sh, dst: dst}
 		}
 	}
 
 	probers := make([]*audit.Prober, 0, V+I)
-	scratch := make([]byte, 2048)
 	probePort := func(role audit.Role) uint16 {
 		if role == audit.RoleSuspect {
 			return suspectPort
@@ -305,9 +298,13 @@ func runAuditCell(cfg AuditConfig, kind AuditISP, mode ArmsMode, strat audit.Str
 		return controlPort
 	}
 
-	// Outside vantages.
+	// Outside vantages. Every outside source lives on shard 0, so one
+	// outside node anchors the whole vantage; each vantage gets its own
+	// scratch buffer (vantages on different shards emit concurrently).
 	for v := 0; v < V; v++ {
 		vantage := v
+		anchor := f.Outside[outIdx(v, 0, 0)]
+		scratch := make([]byte, 2048)
 		var p *audit.Prober
 		emit := func(role audit.Role, trial int, size int) {
 			if strat == audit.StrategyNaive && (trial < 0 || trial >= T) {
@@ -318,7 +315,7 @@ func runAuditCell(cfg AuditConfig, kind AuditISP, mode ArmsMode, strat audit.Str
 			// the payload so the receiver discards them; outIdx ignores
 			// the trial for the interleaved strategy's fixed sources.
 			payload := scratch[:size]
-			audit.PutProbePayload(payload, role, trial, sim.NowNanos())
+			audit.PutProbePayload(payload, role, trial, anchor.NowNanos())
 			idx := outIdx(vantage, trial, int(role))
 			src := f.Outside[idx]
 			if mode == ModePlaintext {
@@ -333,7 +330,7 @@ func runAuditCell(cfg AuditConfig, kind AuditISP, mode ArmsMode, strat audit.Str
 			_ = src.Send(pkt)
 		}
 		p, err = audit.NewProber(audit.ProberConfig{
-			Sim:          sim,
+			On:           anchor,
 			Rng:          mathrand.New(mathrand.NewSource(cfg.Seed*1_000_003 + salt<<32 + int64(v))),
 			Strategy:     strat,
 			Trials:       T,
@@ -357,21 +354,25 @@ func runAuditCell(cfg AuditConfig, kind AuditISP, mode ArmsMode, strat audit.Str
 	}
 
 	// Inside vantages: host-to-host probes that never cross transit.
+	// Anchored to the source host — every probe host shares the single
+	// customer-subtree shard.
 	for i := 0; i < I; i++ {
 		vantage := i
+		anchor := f.Hosts[inSrcIdx(i, 0, 0)]
+		scratch := make([]byte, 2048)
 		var p *audit.Prober
 		emit := func(role audit.Role, trial int, size int) {
 			if strat == audit.StrategyNaive && (trial < 0 || trial >= T) {
 				return
 			}
 			payload := scratch[:size]
-			audit.PutProbePayload(payload, role, trial, sim.NowNanos())
+			audit.PutProbePayload(payload, role, trial, anchor.NowNanos())
 			src := f.Hosts[inSrcIdx(vantage, trial, int(role))]
 			dst := f.HostAddr(inTargetIdx(vantage, int(role)))
 			_ = src.Send(buildProbeUDP(src.Addr(), dst, probePort(role), payload))
 		}
 		p, err = audit.NewProber(audit.ProberConfig{
-			Sim:          sim,
+			On:           anchor,
 			Rng:          mathrand.New(mathrand.NewSource(cfg.Seed*1_000_003 + salt<<32 + int64(V+i))),
 			Strategy:     strat,
 			Trials:       T,

@@ -7,6 +7,12 @@
 // open-loop shim traffic through it, and reports the engine's
 // sim-events/sec and forwarded packets/sec alongside the scenario-level
 // verdicts (deliveries, classifier hits).
+//
+// The fan-out is built sharded (netem.FanoutSpec.ShardSubtrees): the
+// outside world and transit in shard 0, the neutralizer border in shard
+// 1, one shard per customer subtree. MetroConfig.Workers chooses how
+// many threads execute the shards; with a fixed seed the outcome is
+// bit-identical at every worker count (E9 sweeps this).
 package eval
 
 import (
@@ -14,11 +20,9 @@ import (
 	"time"
 
 	"netneutral/internal/core"
-	"netneutral/internal/crypto/aesutil"
 	"netneutral/internal/crypto/keys"
 	"netneutral/internal/isp"
 	"netneutral/internal/netem"
-	"netneutral/internal/shim"
 	"netneutral/internal/trafficgen"
 	"netneutral/internal/wire"
 )
@@ -33,8 +37,18 @@ type MetroConfig struct {
 	// Duration is the simulated time to run traffic for (default 2s).
 	Duration time.Duration
 	// RatePps is the open-loop offered load in packets per simulated
-	// second (default 50000).
+	// second (default 50000) from the outside source through the
+	// neutralizer.
 	RatePps float64
+	// LocalPps, when positive, adds intra-subtree chatter: hosts talk
+	// to a neighbor under the same edge at this aggregate rate. This is
+	// the load component that lives entirely inside the customer
+	// shards — the parallel-scaling experiments (E9, the parallel
+	// benchmark) use it to model a metro whose hosts are not idle.
+	LocalPps float64
+	// Workers is how many threads execute the sharded engine
+	// (default 1; results are identical at any value).
+	Workers int
 }
 
 func (c *MetroConfig) fill() {
@@ -47,12 +61,20 @@ func (c *MetroConfig) fill() {
 	if c.RatePps <= 0 {
 		c.RatePps = 50000
 	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
 }
 
 // MetroStats is the outcome of a metro-scale run.
 type MetroStats struct {
-	Hosts          int
+	Hosts   int
+	Shards  int
+	Workers int
+	// Sent counts neutralized packets from the outside source;
+	// LocalSent counts intra-subtree host chatter.
 	Sent           int
+	LocalSent      int
 	Delivered      uint64
 	Forwarded      uint64
 	Dropped        uint64
@@ -68,77 +90,114 @@ type MetroStats struct {
 }
 
 // metroWorld is the shared substrate of RunMetro and MetroBench: the
-// fan-out topology with the real stateless neutralizer attached at the
+// sharded fan-out with the real stateless neutralizer attached at the
 // border on the zero-alloc scratch path, plus one pre-built shim data
 // packet per customer host (the neutralizer re-derives the session key
 // from (epoch, nonce, src) and decrypts the hidden per-host
 // destination).
 type metroWorld struct {
+	env       *fanoutEnv
 	sim       *netem.Simulator
 	fan       *netem.Fanout
 	templates [][]byte
 }
 
-func buildMetroWorld(seed int64, hosts int, link netem.LinkConfig) (*metroWorld, error) {
-	sim := netem.NewSimulator(benchStart, seed)
-	f, err := netem.BuildFanout(sim, netem.FanoutSpec{
+func buildMetroWorld(seed int64, hosts, workers int, link netem.LinkConfig) (*metroWorld, error) {
+	env, err := newFanoutEnv(seed, netem.FanoutSpec{
 		Hosts: hosts, OutsideLink: link, TransitLink: link, EdgeLink: link,
+		ShardSubtrees: true,
 	})
 	if err != nil {
 		return nil, err
 	}
-	sched := keys.NewSchedule(aesutil.Key{7}, benchStart, time.Hour)
-	neut, err := core.New(core.Config{
-		Schedule:   sched,
-		Anycast:    f.Spec.Anycast,
-		IsCustomer: f.CustomerNet.Contains,
-		Clock:      sim.Now,
-	})
-	if err != nil {
+	env.Sim.SetWorkers(workers)
+	if err := env.attachNeutralizer(); err != nil {
 		return nil, err
 	}
-	AttachNeutralizerScratch(f.Border, neut)
 
-	src := f.OutsideAddr(0)
-	epoch := sched.EpochAt(sim.Now())
+	src := env.Fan.OutsideAddr(0)
 	nonce := keys.Nonce{0xE6, 1}
-	ks, err := sched.SessionKey(epoch, nonce, src)
-	if err != nil {
-		return nil, err
-	}
 	payload := make([]byte, 64)
 	templates := make([][]byte, hosts)
 	for i := range templates {
-		blk, err := aesutil.EncryptAddr(ks, f.HostAddr(i), [8]byte{byte(i), byte(i >> 8), byte(i >> 16)})
+		sh, err := env.shimCred(src, env.Fan.HostAddr(i), nonce,
+			[8]byte{byte(i), byte(i >> 8), byte(i >> 16)}, wire.ProtoUDP)
 		if err != nil {
 			return nil, err
 		}
-		templates[i], err = buildShim(src, f.Spec.Anycast, &shim.Header{
-			Type: shim.TypeData, InnerProto: wire.ProtoUDP,
-			Epoch: epoch, Nonce: nonce, HiddenAddr: blk,
-		}, payload)
+		templates[i], err = buildShim(src, env.Fan.Spec.Anycast, &sh, payload)
 		if err != nil {
 			return nil, err
 		}
 	}
-	return &metroWorld{sim: sim, fan: f, templates: templates}, nil
+	return &metroWorld{env: env, sim: env.Sim, fan: env.Fan, templates: templates}, nil
+}
+
+// hostNeighbor returns the same-edge neighbor of host i (the peer of
+// its intra-subtree chatter), or -1 for a single-host edge.
+func hostNeighbor(i, hosts, hostsPerEdge int) int {
+	if j := i + 1; j < hosts && i/hostsPerEdge == j/hostsPerEdge {
+		return j
+	}
+	if j := i - 1; j >= 0 && i/hostsPerEdge == j/hostsPerEdge {
+		return j
+	}
+	return -1
+}
+
+// chatterSenders prebuilds the intra-subtree chatter wiring: for each
+// host with a same-edge neighbor, a pooled template packet to that
+// neighbor and a sender anchored to the host's node (so emissions run
+// on the host's shard). One definition serves both the E9 experiment
+// (localChatter) and the parallel benchmark fixture, so the benchmark
+// workload cannot drift from the experiment it measures.
+func chatterSenders(f *netem.Fanout) (nodes []*netem.Node, sends []func(seq uint64)) {
+	payload := make([]byte, 40)
+	for i, host := range f.Hosts {
+		j := hostNeighbor(i, len(f.Hosts), f.Spec.HostsPerEdge)
+		if j < 0 {
+			continue // single-host edge: nobody to talk to
+		}
+		tmpl := buildProbeUDP(f.HostAddr(i), f.HostAddr(j), 9000, payload)
+		nodes = append(nodes, host)
+		sends = append(sends, trafficgen.CyclingSender(host, [][]byte{tmpl}))
+	}
+	return nodes, sends
+}
+
+// localChatter schedules the intra-subtree host-to-host load for
+// duration d at the given aggregate rate. Returns the number of packets
+// that will be sent.
+func localChatter(f *netem.Fanout, pps float64, d time.Duration) int {
+	if pps <= 0 {
+		return 0
+	}
+	perHost := pps / float64(len(f.Hosts))
+	nodes, sends := chatterSenders(f)
+	sent := 0
+	for i, node := range nodes {
+		sent += trafficgen.OpenLoop{RatePps: perHost}.Run(node, d, sends[i])
+	}
+	return sent
 }
 
 // RunMetro builds the fan-out world, attaches a neutralizer at the
 // border and a (futile) targeted classifier at the transit router, and
 // drives cfg.RatePps of neutralized traffic from one outside source
-// toward all cfg.Hosts customers for cfg.Duration of virtual time.
+// toward all cfg.Hosts customers for cfg.Duration of virtual time,
+// plus cfg.LocalPps of intra-subtree chatter.
 func RunMetro(cfg MetroConfig) (*MetroStats, error) {
 	cfg.fill()
 	buildStart := time.Now()
-	w, err := buildMetroWorld(cfg.Seed, cfg.Hosts, netem.LinkConfig{})
+	w, err := buildMetroWorld(cfg.Seed, cfg.Hosts, cfg.Workers, netem.LinkConfig{})
 	if err != nil {
 		return nil, err
 	}
 	sim, f := w.sim, w.fan
 
 	// The discriminatory transit tries to target one customer by
-	// address; neutralized traffic never names it.
+	// address; neutralized traffic never names it. The policy runs at
+	// the transit router — shard 0 — so it draws from shard 0's RNG.
 	policy := isp.NewPolicy(sim.Rand(), isp.Rule{
 		Name:   "target-customer",
 		Match:  isp.MatchDstAddr(f.HostAddr(0)),
@@ -147,16 +206,20 @@ func RunMetro(cfg MetroConfig) (*MetroStats, error) {
 	f.Transit.AddTransitHook(policy.Hook())
 
 	delivered := f.CountDeliveries()
-	st := &MetroStats{Hosts: cfg.Hosts, BuildTime: time.Since(buildStart)}
+	st := &MetroStats{
+		Hosts: cfg.Hosts, Shards: sim.ShardCount(), Workers: cfg.Workers,
+		BuildTime: time.Since(buildStart),
+	}
 
 	st.Sent = trafficgen.OpenLoop{RatePps: cfg.RatePps}.Run(
-		sim, cfg.Duration, trafficgen.CyclingSender(f.Outside[0], w.templates))
+		f.Outside[0], cfg.Duration, trafficgen.CyclingSender(f.Outside[0], w.templates))
+	st.LocalSent = localChatter(f, cfg.LocalPps, cfg.Duration)
 
 	runStart := time.Now()
 	sim.Run()
 	st.RunTime = time.Since(runStart)
 
-	st.Delivered = *delivered
+	st.Delivered = delivered.Total()
 	st.Forwarded = sim.Forwarded()
 	st.Dropped = sim.Dropped()
 	st.ClassifierHits = policy.Hits("target-customer")
@@ -167,9 +230,10 @@ func RunMetro(cfg MetroConfig) (*MetroStats, error) {
 		st.ForwardPps = float64(st.Forwarded) / sec
 		st.DeliveredPps = float64(st.Delivered) / sec
 	}
-	if st.Delivered != uint64(st.Sent) {
+	want := uint64(st.Sent + st.LocalSent)
+	if st.Delivered != want {
 		return st, fmt.Errorf("eval: metro delivered %d of %d packets (dropped %d)",
-			st.Delivered, st.Sent, st.Dropped)
+			st.Delivered, want, st.Dropped)
 	}
 	// A firing classifier means neutralized packets named a customer —
 	// the exact regression the CI smoke step exists to catch.
@@ -188,7 +252,7 @@ func RunE6() (*Result, error) {
 	}
 	return &Result{ID: "E6", Title: "Metro-scale emulation (10k customers, one neutralizer domain)", Rows: []Row{
 		{Metric: "customer hosts", Paper: "-", Measured: fmt.Sprintf("%d", st.Hosts),
-			Note: fmt.Sprintf("%d-node fan-out built in %v", st.Hosts, st.BuildTime.Round(time.Millisecond))},
+			Note: fmt.Sprintf("%d-node fan-out (%d shards) built in %v", st.Hosts, st.Shards, st.BuildTime.Round(time.Millisecond))},
 		{Metric: "neutralized packets delivered", Paper: "all",
 			Measured: fmt.Sprintf("%d/%d", st.Delivered, st.Sent), Note: "open-loop load, every customer reached"},
 		{Metric: "classifier hits at transit", Paper: "0",
@@ -214,14 +278,14 @@ type MetroBench struct {
 	templates [][]byte
 	burst     int
 	next      int
-	delivered *uint64
+	delivered *netem.DeliveryCount
 	expected  uint64
 }
 
 // NewMetroBench builds a fan-out of the given size whose link queues
 // absorb same-instant bursts of burst packets.
 func NewMetroBench(hosts, burst int) (*MetroBench, error) {
-	w, err := buildMetroWorld(1, hosts,
+	w, err := buildMetroWorld(1, hosts, 1,
 		netem.LinkConfig{Delay: time.Millisecond, QueueLen: 2 * burst})
 	if err != nil {
 		return nil, err
@@ -244,8 +308,8 @@ func (m *MetroBench) RunBurst() error {
 	}
 	m.sim.Run()
 	m.expected += uint64(m.burst)
-	if *m.delivered != m.expected {
-		return fmt.Errorf("eval: metro burst delivered %d, want %d", *m.delivered, m.expected)
+	if got := m.delivered.Total(); got != m.expected {
+		return fmt.Errorf("eval: metro burst delivered %d, want %d", got, m.expected)
 	}
 	return nil
 }

@@ -1,0 +1,197 @@
+// E9: the parallel engine experiment. PR 2 made the netem substrate
+// fast on one core; this experiment measures what the sharded
+// conservative engine does with several. It runs the same metro
+// workload — neutralized downstream load through the border plus
+// intra-subtree host chatter (the component that lives entirely inside
+// the customer shards) — at a sweep of worker counts, and enforces the
+// engine's central contract: every deterministic outcome (packets sent,
+// delivered, forwarded, dropped, classifier hits, sim events, pool
+// checkouts) is bit-identical at every worker count. Speedup is
+// recorded alongside host core counts; like E5, the scaling number is
+// only meaningful on hosts with enough cores, so it is enforced by
+// scripts/benchjson (gated on NumCPU >= 4), not here.
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"netneutral/internal/netem"
+	"netneutral/internal/trafficgen"
+)
+
+// ParScaleConfig parameterizes E9; the zero value gets the registered
+// experiment's defaults.
+type ParScaleConfig struct {
+	// Hosts is the customer host count (default 10000).
+	Hosts int
+	// Seed drives every RNG.
+	Seed int64
+	// Duration is simulated traffic time per run (default 1s).
+	Duration time.Duration
+	// RatePps is the neutralized downstream load (default 50000).
+	RatePps float64
+	// LocalPps is the intra-subtree chatter load (default 100000).
+	LocalPps float64
+	// Workers is the sweep (default 1, 2, 4, 8).
+	Workers []int
+}
+
+func (c *ParScaleConfig) fill() {
+	if c.Hosts <= 0 {
+		c.Hosts = 10000
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.RatePps <= 0 {
+		c.RatePps = 50000
+	}
+	if c.LocalPps <= 0 {
+		c.LocalPps = 100000
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 2, 4, 8}
+	}
+}
+
+// ParScaleRun is one worker count's outcome.
+type ParScaleRun struct {
+	Workers int
+	Stats   *MetroStats
+	// Speedup is EventsPerSec relative to the 1-worker run.
+	Speedup float64
+}
+
+// ParScaleStats is the full E9 outcome.
+type ParScaleStats struct {
+	Cfg  ParScaleConfig
+	Runs []ParScaleRun
+}
+
+// identityKey is the deterministic outcome a run must reproduce exactly
+// at every worker count.
+func identityKey(st *MetroStats) [8]uint64 {
+	return [8]uint64{
+		uint64(st.Sent), uint64(st.LocalSent), st.Delivered, st.Forwarded,
+		st.Dropped, st.ClassifierHits, st.SimEvents, st.PoolGets,
+	}
+}
+
+// RunParScale sweeps the metro workload across worker counts and
+// enforces bit-identical outcomes; wall-clock scaling is recorded.
+func RunParScale(cfg ParScaleConfig) (*ParScaleStats, error) {
+	cfg.fill()
+	out := &ParScaleStats{Cfg: cfg}
+	var base *MetroStats
+	for _, w := range cfg.Workers {
+		st, err := RunMetro(MetroConfig{
+			Hosts: cfg.Hosts, Seed: cfg.Seed, Duration: cfg.Duration,
+			RatePps: cfg.RatePps, LocalPps: cfg.LocalPps, Workers: w,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("eval: parscale workers=%d: %w", w, err)
+		}
+		run := ParScaleRun{Workers: w, Stats: st}
+		if base == nil {
+			base = st
+		} else if identityKey(st) != identityKey(base) {
+			return nil, fmt.Errorf(
+				"eval: parscale determinism violated: workers=%d outcome %v != workers=%d outcome %v",
+				w, identityKey(st), base.Workers, identityKey(base))
+		}
+		if base.EventsPerSec > 0 {
+			run.Speedup = st.EventsPerSec / base.EventsPerSec
+		}
+		out.Runs = append(out.Runs, run)
+	}
+	return out, nil
+}
+
+// RunE9 is the registered parallel-scaling experiment.
+func RunE9() (*Result, error) {
+	st, err := RunParScale(ParScaleConfig{Seed: 9})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ID: "E9", Title: parScaleTitle}
+	first := st.Runs[0].Stats
+	res.Rows = append(res.Rows, Row{
+		Metric: "workload", Paper: "-",
+		Measured: fmt.Sprintf("%d hosts, %d shards", first.Hosts, first.Shards),
+		Note: fmt.Sprintf("%d neutralized + %d intra-subtree packets over %v simulated",
+			first.Sent, first.LocalSent, st.Cfg.Duration),
+	})
+	for _, r := range st.Runs {
+		res.Rows = append(res.Rows, Row{
+			Metric:   fmt.Sprintf("events/sec at %d worker(s)", r.Workers),
+			Paper:    "-",
+			Measured: fmt.Sprintf("%.0f", r.Stats.EventsPerSec),
+			Note: fmt.Sprintf("%.2fx of 1 worker, GOMAXPROCS=%d (scaling enforced by benchjson on >= 4 cores)",
+				r.Speedup, runtime.GOMAXPROCS(0)),
+		})
+	}
+	res.Rows = append(res.Rows, Row{
+		Metric: "determinism", Paper: "bit-identical",
+		Measured: "verified",
+		Note:     "sent/delivered/forwarded/dropped/events/pool checkouts equal at every worker count",
+	})
+	return res, nil
+}
+
+const parScaleTitle = "Parallel sharded engine: worker scaling with bit-identical replay"
+
+// ParMetroBench is the fixture behind BenchmarkNetemMetroParallel: the
+// sharded metro world built once per worker count, with the downstream
+// sender and every per-host chatter sender prebuilt, so one benchmark
+// op pays only the traffic it schedules and runs. The workload matches
+// E9: neutralized downstream load through the border plus
+// intra-subtree host chatter. Size chunks so the per-host chatter
+// interval fits inside them — RunChunk reports how many packets it
+// scheduled precisely so a mis-sized chunk cannot silently degrade the
+// workload to downstream-only.
+type ParMetroBench struct {
+	w        *metroWorld
+	rate     float64
+	perHost  float64
+	outSend  func(seq uint64)
+	hosts    []*netem.Node
+	hostSend []func(seq uint64)
+}
+
+// NewParMetroBench builds the fixture at the given host count and
+// worker count.
+func NewParMetroBench(hosts, workers int) (*ParMetroBench, error) {
+	w, err := buildMetroWorld(1, hosts, workers,
+		netem.LinkConfig{Delay: time.Millisecond, QueueLen: 512})
+	if err != nil {
+		return nil, err
+	}
+	f := w.fan
+	p := &ParMetroBench{
+		w: w, rate: 40000, perHost: 80000 / float64(hosts),
+		outSend: trafficgen.CyclingSender(f.Outside[0], w.templates),
+	}
+	p.hosts, p.hostSend = chatterSenders(f)
+	return p, nil
+}
+
+// RunChunk schedules one chunk of downstream and intra-subtree load,
+// advances the simulation through it, and returns the number of packets
+// scheduled (callers should reject a chunk that scheduled no chatter).
+func (p *ParMetroBench) RunChunk(d time.Duration) int {
+	sent := trafficgen.OpenLoop{RatePps: p.rate}.Run(p.w.fan.Outside[0], d, p.outSend)
+	local := 0
+	for i, host := range p.hosts {
+		local += trafficgen.OpenLoop{RatePps: p.perHost}.Run(host, d, p.hostSend[i])
+	}
+	p.w.sim.RunFor(d)
+	if local == 0 {
+		return 0 // chunk shorter than the per-host interval: wrong workload
+	}
+	return sent + local
+}
+
+// Events reports the engine's cumulative event count.
+func (p *ParMetroBench) Events() uint64 { return p.w.sim.EventsProcessed() }

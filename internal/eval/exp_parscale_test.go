@@ -1,0 +1,91 @@
+package eval
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"netneutral/internal/audit"
+)
+
+// reducedParScale keeps E9's contract testable at CI speed.
+func reducedParScale(workers []int) ParScaleConfig {
+	return ParScaleConfig{
+		Hosts: 1200, Seed: 9, Duration: 300 * time.Millisecond,
+		RatePps: 20000, LocalPps: 40000, Workers: workers,
+	}
+}
+
+// TestE9ParScaleReduced runs the worker sweep at reduced scale;
+// RunParScale itself enforces outcome identity across worker counts.
+func TestE9ParScaleReduced(t *testing.T) {
+	st, err := RunParScale(reducedParScale([]int{1, 2, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Runs) != 3 {
+		t.Fatalf("runs = %d, want 3", len(st.Runs))
+	}
+	first := st.Runs[0].Stats
+	if first.LocalSent == 0 || first.Sent == 0 {
+		t.Fatalf("degenerate workload: sent=%d local=%d", first.Sent, first.LocalSent)
+	}
+	if first.Shards < 4 {
+		t.Fatalf("shards = %d, want the sharded fan-out plan", first.Shards)
+	}
+}
+
+// TestE6WorkerIdentity pins the acceptance bar directly: the E6 metro
+// run's deterministic outputs are byte-identical at -simworkers 1 vs 4.
+func TestE6WorkerIdentity(t *testing.T) {
+	cfg := MetroConfig{Hosts: 1500, Seed: 66, Duration: 250 * time.Millisecond, RatePps: 20000}
+	cfg1, cfg4 := cfg, cfg
+	cfg1.Workers, cfg4.Workers = 1, 4
+	a, err := RunMetro(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMetro(cfg4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if identityKey(a) != identityKey(b) {
+		t.Fatalf("E6 outcome differs across workers: %v vs %v", identityKey(a), identityKey(b))
+	}
+}
+
+// TestE8WorkerIdentity extends the seed-replay discipline across worker
+// counts: every cell's wire-encoded vantage reports — the audit's full
+// measured outcome — must be byte-identical at -simworkers 1 vs 4.
+func TestE8WorkerIdentity(t *testing.T) {
+	cfg := AuditConfig{Seed: 11, Vantages: 4, InsideVantages: 2, Trials: 8}
+	cfg1, cfg4 := cfg, cfg
+	cfg1.Workers, cfg4.Workers = 1, 4
+	a, err := RunAudit(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAudit(cfg4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for c := range a.Cells {
+		ca, cb := &a.Cells[c], &b.Cells[c]
+		if len(ca.ReportWire) != len(cb.ReportWire) {
+			t.Fatalf("cell %v/%v/%v: report counts differ", ca.ISP, ca.Mode, ca.Strategy)
+		}
+		for v := range ca.ReportWire {
+			if !bytes.Equal(ca.ReportWire[v], cb.ReportWire[v]) {
+				t.Fatalf("cell %v/%v/%v vantage %d: outcome differs across workers (%d vs %d bytes)",
+					ca.ISP, ca.Mode, ca.Strategy, v, len(ca.ReportWire[v]), len(cb.ReportWire[v]))
+			}
+		}
+	}
+	// The comparison must not be vacuous.
+	if cell := a.Cell(ISPDPI, ModeEncrypted, audit.StrategyInterleaved); cell.Summary.Power == 0 {
+		t.Fatal("blatant-dpi cell detected nothing; identity check would be meaningless")
+	}
+}

@@ -85,19 +85,9 @@ func (q *eventQueue) siftDown(i int) {
 	}
 }
 
-// schedule enqueues ev at absolute time at (clamped to now).
-func (s *Simulator) schedule(at time.Time, ev event) {
-	if at.Before(s.now) {
-		at = s.now
-	}
-	s.seq++
-	ev.at = at
-	ev.seq = s.seq
-	s.events.push(ev)
-}
-
-// dispatchEvent runs one popped event.
-func (s *Simulator) dispatchEvent(ev *event) {
+// dispatchEvent runs one popped event. Shard-local: every operand (node,
+// link direction) belongs to the shard that queued the event.
+func (sh *shard) dispatchEvent(ev *event) {
 	switch ev.kind {
 	case evFunc:
 		ev.fn()

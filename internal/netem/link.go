@@ -92,8 +92,10 @@ type Link struct {
 	dirs [2]*linkDir // [0] a->b, [1] b->a
 }
 
+// linkDir is one direction's egress state. It is owned by the shard of
+// its from node — serialization and queueing happen there — and only its
+// arrival events cross into the to node's shard.
 type linkDir struct {
-	sim     *Simulator
 	from    *Node
 	to      *Node
 	cfg     LinkConfig
@@ -112,10 +114,11 @@ func (s *Simulator) Connect(a, b *Node, cfg LinkConfig) *Link {
 // (ab for a→b, ba for b→a).
 func (s *Simulator) ConnectAsym(a, b *Node, ab, ba LinkConfig) *Link {
 	l := &Link{a: a, b: b}
-	l.dirs[0] = &linkDir{sim: s, from: a, to: b, cfg: ab, queue: NewFIFOQueue(ab.QueueLen)}
-	l.dirs[1] = &linkDir{sim: s, from: b, to: a, cfg: ba, queue: NewFIFOQueue(ba.QueueLen)}
+	l.dirs[0] = &linkDir{from: a, to: b, cfg: ab, queue: NewFIFOQueue(ab.QueueLen)}
+	l.dirs[1] = &linkDir{from: b, to: a, cfg: ba, queue: NewFIFOQueue(ba.QueueLen)}
 	a.links = append(a.links, l)
 	b.links = append(b.links, l)
+	s.planDirty = true
 	return l
 }
 
@@ -148,7 +151,7 @@ func (l *Link) SetQueue(from *Node, q Queue) error {
 		}
 		if !q.Enqueue(p) {
 			d.dropped++
-			d.sim.emit(TraceDropQueue, from, p.Pkt)
+			d.from.sh.emit(TraceDropQueue, from, p.Pkt)
 			p.Release()
 		}
 	}
@@ -193,14 +196,15 @@ func (l *Link) transmit(from *Node, p *Packet) {
 		p.Release()
 		return
 	}
+	sh := d.from.sh
 	if len(p.Pkt) >= 2 {
 		p.DSCP = p.Pkt[1] >> 2
 	}
 	p.Size = len(p.Pkt)
-	p.Arrived = d.sim.now
+	p.Arrived = sh.now
 	if !d.queue.Enqueue(p) {
 		d.dropped++
-		d.sim.emit(TraceDropQueue, from, p.Pkt)
+		sh.emit(TraceDropQueue, from, p.Pkt)
 		p.Release()
 		return
 	}
@@ -223,13 +227,24 @@ func (d *linkDir) startTransmission() {
 		sec := float64(p.Size*8) / d.cfg.RateBps
 		serialize = time.Duration(math.Round(sec * float64(time.Second)))
 	}
-	d.sim.schedule(d.sim.now.Add(serialize), event{kind: evDepart, dir: d, pkt: p})
+	sh := d.from.sh
+	sh.schedule(sh.now.Add(serialize), event{kind: evDepart, dir: d, pkt: p})
 }
 
 // depart completes a serialization: the line is free for the next packet
-// and p arrives at the far end after propagation.
+// and p arrives at the far end after propagation. An arrival on another
+// shard is staged in the outbox — the propagation delay of every
+// cross-shard link is at least the engine's lookahead, which is what
+// makes deferring it to the epoch barrier safe.
 func (d *linkDir) depart(p *Packet) {
 	d.sent++
-	d.sim.schedule(d.sim.now.Add(d.cfg.Delay), event{kind: evArrive, node: d.to, pkt: p})
+	src, dst := d.from.sh, d.to.sh
+	at := src.now.Add(d.cfg.Delay)
+	ev := event{kind: evArrive, node: d.to, pkt: p}
+	if dst == src {
+		src.schedule(at, ev)
+	} else {
+		src.sendRemote(dst, at, ev)
+	}
 	d.startTransmission()
 }

@@ -21,9 +21,18 @@
 // observe, delay, or drop packets in flight, and trace hooks feed the
 // measurement package.
 //
-// Everything runs single-threaded inside the event loop, so handlers may
-// freely call back into the simulator; with a fixed seed, runs are fully
-// reproducible.
+// The engine is sharded: a Simulator is a facade over one or more
+// shards, each owning its own event queue, packet freelist, and
+// splitmix-seeded PRNG. An unsharded simulator (the default) has one
+// shard and runs the classic single-threaded loop — handlers may freely
+// call back into the simulator, and with a fixed seed runs are fully
+// reproducible. Topology builders may partition nodes across shards
+// (Node.SetShard, FanoutSpec.ShardSubtrees) and run them on several
+// workers (Simulator.SetWorkers): execution then proceeds in
+// conservative epochs bounded by the minimum cross-shard link delay,
+// with cross-shard packets merged deterministically at each epoch
+// barrier, so a seeded run is bit-identical at every worker count. See
+// shard.go and parallel.go.
 package netem
 
 import (
@@ -119,13 +128,23 @@ type TraceEvent struct {
 // retained past the call.
 type TraceHook func(ev TraceEvent)
 
-// Simulator is the discrete-event engine. Create with NewSimulator.
+// Simulator is the discrete-event engine facade. Create with
+// NewSimulator. State that events touch — queue, clock, packet pool,
+// PRNG — lives in shards (one by default); the facade holds the shared
+// read-only topology and delegates to shard 0 where an API predates
+// sharding.
 type Simulator struct {
-	now    time.Time
-	seq    uint64
-	events eventQueue
-	pool   packetPool
-	rng    *rand.Rand
+	start       time.Time
+	committed   time.Time // multi-shard: time every shard has reached
+	seed        int64
+	shards      []*shard
+	workers     int
+	lookahead   time.Duration
+	multi       bool // any node assigned beyond shard 0
+	planDirty   bool
+	running     bool // inside a multi-shard epoch run
+	parallelRun bool // running with > 1 worker: shard-0 APIs are off-limits
+	poolDebug   bool
 
 	nodes    map[string]*Node
 	nodeList []*Node
@@ -133,104 +152,133 @@ type Simulator struct {
 	anycast  map[netip.Addr][]*Node
 	traces   []TraceHook
 
-	eventsRun        uint64
-	packetsDelivered uint64
-	packetsForwarded uint64
-	packetsDropped   uint64
-
 	dijkstra dijkstraScratch
 }
 
 // NewSimulator creates a simulator whose clock starts at start and whose
 // randomness derives from seed.
 func NewSimulator(start time.Time, seed int64) *Simulator {
-	return &Simulator{
-		now:     start,
-		rng:     rand.New(rand.NewSource(seed)),
-		nodes:   make(map[string]*Node),
-		byAddr:  make(map[netip.Addr]*Node),
-		anycast: make(map[netip.Addr][]*Node),
+	s := &Simulator{
+		start:     start,
+		committed: start,
+		seed:      seed,
+		workers:   1,
+		nodes:     make(map[string]*Node),
+		byAddr:    make(map[netip.Addr]*Node),
+		anycast:   make(map[netip.Addr][]*Node),
 	}
+	s.shards = []*shard{newShard(s, 0, start)}
+	return s
 }
 
-// Now returns the current virtual time.
-func (s *Simulator) Now() time.Time { return s.now }
+// Now returns the current virtual time: exact while execution is
+// single-threaded (one shard, or shards declared but every node still
+// on shard 0); for genuinely sharded simulators, the time every shard
+// is known to have reached (callbacks wanting their exact event time
+// use the now they receive, or Node.Now).
+func (s *Simulator) Now() time.Time {
+	if len(s.shards) == 1 || !s.multi {
+		return s.shards[0].now
+	}
+	return s.committed
+}
 
-// Rand returns the simulator's seeded PRNG (deterministic runs).
-func (s *Simulator) Rand() *rand.Rand { return s.rng }
+// Rand returns shard 0's seeded PRNG — the simulator-wide stream of
+// unsharded runs. Sources on sharded topologies use Node.Rand.
+func (s *Simulator) Rand() *rand.Rand { return s.shards[0].rng }
 
-// Trace registers a global trace hook.
+// Trace registers a global trace hook. On sharded runs, hooks fire at
+// each epoch barrier in globally merged (time, shard, seq) order — the
+// same total order at every worker count — and observe copied packet
+// bytes; on single-shard runs they fire live, as always.
 func (s *Simulator) Trace(h TraceHook) { s.traces = append(s.traces, h) }
 
-func (s *Simulator) emit(kind TraceKind, node *Node, pkt []byte) {
-	switch {
-	case kind == TraceDeliver:
-		s.packetsDelivered++
-	case kind == TraceForward:
-		s.packetsForwarded++
-	case kind >= TraceDropQueue:
-		s.packetsDropped++
+// Delivered reports packets locally delivered anywhere in the network.
+func (s *Simulator) Delivered() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.delivered
 	}
-	for _, h := range s.traces {
-		h(TraceEvent{Kind: kind, Time: s.now, Node: node, Pkt: pkt})
-	}
+	return n
 }
 
-// Delivered reports packets locally delivered anywhere in the network.
-func (s *Simulator) Delivered() uint64 { return s.packetsDelivered }
-
 // Forwarded reports router forwarding decisions (one per transit hop).
-func (s *Simulator) Forwarded() uint64 { return s.packetsForwarded }
+func (s *Simulator) Forwarded() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.forwarded
+	}
+	return n
+}
 
 // Dropped reports the number of packets dropped anywhere in the network.
-func (s *Simulator) Dropped() uint64 { return s.packetsDropped }
+func (s *Simulator) Dropped() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.dropped
+	}
+	return n
+}
 
 // EventsProcessed reports how many events the loop has run; with wall
 // time it yields the sim-events/sec figure the scale experiments report.
-func (s *Simulator) EventsProcessed() uint64 { return s.eventsRun }
+func (s *Simulator) EventsProcessed() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.eventsRun
+	}
+	return n
+}
 
-// Schedule runs fn after d of virtual time.
+// Schedule runs fn after d of virtual time on shard 0 (the whole
+// simulator when unsharded). Sources on sharded topologies schedule via
+// their node (Node.Schedule) so callbacks run on the owning shard;
+// calling Schedule from inside a multi-worker run therefore panics —
+// it would race shard 0's queue and silently break replay determinism.
 func (s *Simulator) Schedule(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	s.schedule(s.now.Add(d), event{kind: evFunc, fn: fn})
+	s.guardShard0()
+	sh := s.shards[0]
+	sh.schedule(sh.now.Add(d), event{kind: evFunc, fn: fn})
 }
 
-// ScheduleAt runs fn at absolute virtual time t (clamped to now).
+// ScheduleAt runs fn at absolute virtual time t (clamped to now) on
+// shard 0. The multi-worker restriction of Schedule applies.
 func (s *Simulator) ScheduleAt(t time.Time, fn func()) {
-	s.schedule(t, event{kind: evFunc, fn: fn})
+	s.guardShard0()
+	s.shards[0].schedule(t, event{kind: evFunc, fn: fn})
 }
 
-// Run processes events until the queue is empty.
-func (s *Simulator) Run() {
-	for s.events.len() > 0 {
-		ev := s.events.pop()
-		s.now = ev.at
-		s.eventsRun++
-		s.dispatchEvent(&ev)
+// guardShard0 turns a mid-parallel-run call to a shard-0 API (Schedule,
+// ScheduleAt, NewPacket) into an immediate diagnostic instead of a
+// silent data race: during a multi-worker run, callbacks must go
+// through their node's anchored equivalents.
+func (s *Simulator) guardShard0() {
+	if s.parallelRun {
+		panic("netem: Simulator-level Schedule/NewPacket called during a multi-worker run; anchor to a node (Node.Schedule, Node.NewPacket, Node.Send)")
 	}
 }
 
-// RunUntil processes events with timestamps <= t, then advances the clock
-// to t.
-func (s *Simulator) RunUntil(t time.Time) {
-	for s.events.len() > 0 && !s.events.h[0].at.After(t) {
-		ev := s.events.pop()
-		s.now = ev.at
-		s.eventsRun++
-		s.dispatchEvent(&ev)
-	}
-	if s.now.Before(t) {
-		s.now = t
-	}
-}
+// Run processes events until every queue is empty.
+func (s *Simulator) Run() { s.runLimit(time.Time{}, false) }
+
+// RunUntil processes events with timestamps <= t, then advances the
+// clock to t.
+func (s *Simulator) RunUntil(t time.Time) { s.runLimit(t, true) }
 
 // RunFor advances the simulation by d.
-func (s *Simulator) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
+func (s *Simulator) RunFor(d time.Duration) { s.RunUntil(s.Now().Add(d)) }
 
-// PendingEvents reports events waiting in the queue.
-func (s *Simulator) PendingEvents() int { return s.events.len() }
+// PendingEvents reports events waiting across all queues.
+func (s *Simulator) PendingEvents() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.events.len()
+	}
+	return n
+}
 
 // Node is a host or router in the emulated network.
 type Node struct {
@@ -240,6 +288,7 @@ type Node struct {
 	Domain string
 
 	sim     *Simulator
+	sh      *shard
 	id      int
 	addrs   []netip.Addr
 	links   []*Link
@@ -254,7 +303,8 @@ func (s *Simulator) AddNode(name, domain string, addrs ...netip.Addr) (*Node, er
 	if _, dup := s.nodes[name]; dup {
 		return nil, fmt.Errorf("netem: duplicate node name %q", name)
 	}
-	n := &Node{Name: name, Domain: domain, sim: s, id: len(s.nodeList)}
+	n := &Node{Name: name, Domain: domain, sim: s, sh: s.shards[0], id: len(s.nodeList)}
+	s.planDirty = true
 	for _, a := range addrs {
 		if _, dup := s.byAddr[a]; dup {
 			return nil, fmt.Errorf("%w: %v", ErrAddrInUse, a)
@@ -360,7 +410,7 @@ func (n *Node) Send(pkt []byte) error {
 	if len(pkt) < wire.IPv4HeaderLen {
 		return ErrMalformedIPv4
 	}
-	return n.SendPacket(n.sim.NewPacket(pkt))
+	return n.SendPacket(n.NewPacket(pkt))
 }
 
 // SendPacket originates a pooled packet from node n, taking ownership of
@@ -373,7 +423,7 @@ func (n *Node) SendPacket(p *Packet) error {
 		p.Release()
 		return ErrMalformedIPv4
 	}
-	n.sim.emit(TraceSend, n, p.Pkt)
+	n.sh.emit(TraceSend, n, p.Pkt)
 	return n.dispatch(p, true)
 }
 
@@ -389,9 +439,9 @@ func (n *Node) dispatch(p *Packet, origin bool) error {
 		// Transit/ingress policy.
 		var delay time.Duration
 		for _, h := range n.hooks {
-			v := h(n.sim.now, n, p.Pkt)
+			v := h(n.sh.now, n, p.Pkt)
 			if v.Drop {
-				n.sim.emit(TraceDropPolicy, n, p.Pkt)
+				n.sh.emit(TraceDropPolicy, n, p.Pkt)
 				p.Release()
 				return nil
 			}
@@ -403,7 +453,7 @@ func (n *Node) dispatch(p *Packet, origin bool) error {
 			}
 		}
 		if delay > 0 {
-			n.sim.schedule(n.sim.now.Add(delay), event{kind: evDelayed, node: n, pkt: p})
+			n.sh.schedule(n.sh.now.Add(delay), event{kind: evDelayed, node: n, pkt: p})
 			return nil
 		}
 	}
@@ -436,7 +486,7 @@ func (n *Node) dispatchAfterPolicy(p *Packet, origin bool) error {
 	// Forward.
 	link := n.lookupRoute(dst)
 	if link == nil {
-		n.sim.emit(TraceDropNoRoute, n, p.Pkt)
+		n.sh.emit(TraceDropNoRoute, n, p.Pkt)
 		p.Release()
 		return ErrNoRoute
 	}
@@ -447,11 +497,11 @@ func (n *Node) dispatchAfterPolicy(p *Packet, origin bool) error {
 			return ErrMalformedIPv4
 		}
 		if !alive {
-			n.sim.emit(TraceDropTTL, n, p.Pkt)
+			n.sh.emit(TraceDropTTL, n, p.Pkt)
 			p.Release()
 			return ErrTTLExhausted
 		}
-		n.sim.emit(TraceForward, n, p.Pkt)
+		n.sh.emit(TraceForward, n, p.Pkt)
 	}
 	link.transmit(n, p)
 	return nil
@@ -460,9 +510,9 @@ func (n *Node) dispatchAfterPolicy(p *Packet, origin bool) error {
 // deliver hands the packet to the local handler, then releases the
 // buffer: handler views are only valid during the call.
 func (n *Node) deliver(p *Packet) {
-	n.sim.emit(TraceDeliver, n, p.Pkt)
+	n.sh.emit(TraceDeliver, n, p.Pkt)
 	if n.handler != nil {
-		n.handler(n.sim.now, p.Pkt)
+		n.handler(n.sh.now, p.Pkt)
 	}
 	p.Release()
 }

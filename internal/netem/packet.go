@@ -35,7 +35,8 @@ type Packet struct {
 
 	buf  []byte // full-capacity backing array
 	refs int32
-	pool *packetPool
+	pool *packetPool // pool Release pushes to: the shard the packet is on
+	home *packetPool // pool that allocated the buffer (owns it at rest)
 }
 
 // QueuedPacket is the historical name for a packet sitting in a link
@@ -68,12 +69,24 @@ func (p *Packet) Release() {
 	}
 }
 
-// packetPool is a freelist of Packets. The event loop is single-threaded,
-// so no locking is needed; buffers are reused most-recently-freed-first
-// for cache locality.
+// packetPool is a freelist of Packets. Each shard owns one: within an
+// epoch only the owning shard's goroutine touches it, so no locking is
+// needed; buffers are reused most-recently-freed-first for cache
+// locality. A packet that crosses a shard boundary is re-homed to the
+// destination shard's pool at the epoch barrier (see shard.mergeIncoming),
+// so Release always pushes onto the freelist of the shard it runs on.
+// Consequence: a cross-shard packet must carry exactly one reference —
+// holding a Retain on a packet while it travels to another shard is
+// unsupported (the refcount is not atomic).
 type packetPool struct {
+	shard int // owning shard id
 	free  []*Packet
-	debug bool
+	// homebound[s] parks buffers released here that shard s's pool
+	// allocated; the home shard reclaims them at the next epoch barrier
+	// (one writer — this pool's shard — one reader — the home shard's
+	// merge phase — never concurrently).
+	homebound [][]*Packet
+	debug     bool
 
 	allocated uint64 // buffers ever created
 	gets      uint64 // checkouts (hits + misses)
@@ -88,9 +101,10 @@ func (pp *packetPool) get(n int) *Packet {
 	if k := len(pp.free); k > 0 {
 		p = pp.free[k-1]
 		pp.free = pp.free[:k-1]
+		p.pool = pp // may still point at the shard of its last journey
 	} else {
 		pp.allocated++
-		p = &Packet{pool: pp}
+		p = &Packet{pool: pp, home: pp}
 	}
 	if cap(p.buf) < n {
 		p.buf = make([]byte, n+64) // headroom to absorb jittering sizes
@@ -104,7 +118,10 @@ func (pp *packetPool) get(n int) *Packet {
 
 // put returns a packet to the freelist, poisoning it first in debug mode
 // so retained views are caught rather than silently reading recycled
-// data.
+// data. A buffer released away from the pool that allocated it (it
+// crossed shards in flight) is parked homebound; the owning shard
+// reclaims it at the next epoch barrier, so producer shards keep
+// recycling even when every packet dies on a consumer shard.
 func (pp *packetPool) put(p *Packet) {
 	if pp.debug {
 		for i := range p.Pkt {
@@ -112,24 +129,46 @@ func (pp *packetPool) put(p *Packet) {
 		}
 	}
 	p.Pkt = nil
-	pp.free = append(pp.free, p)
+	if p.home == pp {
+		pp.free = append(pp.free, p)
+		return
+	}
+	h := p.home.shard
+	for len(pp.homebound) <= h {
+		pp.homebound = append(pp.homebound, nil)
+	}
+	pp.homebound[h] = append(pp.homebound[h], p)
 }
 
-// SetPoolDebug toggles poisoning of released packet buffers. Enable it in
-// tests that must prove no hook or handler retains a buffer view past its
-// call.
-func (s *Simulator) SetPoolDebug(on bool) { s.pool.debug = on }
+// SetPoolDebug toggles poisoning of released packet buffers on every
+// shard pool. Enable it in tests that must prove no hook or handler
+// retains a buffer view past its call.
+func (s *Simulator) SetPoolDebug(on bool) {
+	s.poolDebug = on
+	for _, sh := range s.shards {
+		sh.pool.debug = on
+	}
+}
 
-// NewPacket checks a buffer out of the simulator's pool and copies b into
-// it: the one copy a packet pays at origination.
+// NewPacket checks a buffer out of shard 0's pool and copies b into it:
+// the one copy a packet pays at origination. Senders running inside
+// shard callbacks on sharded topologies use Node.NewPacket, which draws
+// from the owning shard's pool; calling NewPacket from inside a
+// multi-worker run panics (see Simulator.Schedule).
 func (s *Simulator) NewPacket(b []byte) *Packet {
-	p := s.pool.get(len(b))
+	s.guardShard0()
+	p := s.shards[0].pool.get(len(b))
 	copy(p.Pkt, b)
 	return p
 }
 
 // PoolStats reports how many packet buffers were ever allocated versus
-// checked out; a steady-state run re-checks out the same few buffers.
+// checked out across all shard pools; a steady-state run re-checks out
+// the same few buffers.
 func (s *Simulator) PoolStats() (allocated, gets uint64) {
-	return s.pool.allocated, s.pool.gets
+	for _, sh := range s.shards {
+		allocated += sh.pool.allocated
+		gets += sh.pool.gets
+	}
+	return allocated, gets
 }

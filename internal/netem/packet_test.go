@@ -180,7 +180,7 @@ func TestSetQueueTransfersQueuedPackets(t *testing.T) {
 	if gets != 6 || allocated > 6 {
 		t.Errorf("pool stats allocated=%d gets=%d", allocated, gets)
 	}
-	free := len(s.pool.free)
+	free := len(s.shards[0].pool.free)
 	if free != int(allocated) {
 		t.Errorf("pool free=%d, want %d (leaked %d buffers)", free, allocated, int(allocated)-free)
 	}

@@ -1,0 +1,203 @@
+package netem
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// parTraceRec is one observed trace event, with the packet bytes copied
+// out of the pooled buffer.
+type parTraceRec struct {
+	kind TraceKind
+	at   int64
+	node string
+	pkt  []byte
+}
+
+// parWorldResult is everything a parallel run must reproduce exactly.
+type parWorldResult struct {
+	trace       []parTraceRec
+	delivered   uint64
+	forwarded   uint64
+	dropped     uint64
+	events      uint64
+	hostTallies uint64
+}
+
+// runParWorld builds a random sharded fan-out from seed, drives random
+// bidirectional traffic (downstream from outside, host-to-host chatter
+// inside subtrees, upstream from hosts to outside), and runs it at the
+// given worker count — partly in RunFor chunks to exercise partial
+// epochs, then drained with Run.
+func runParWorld(t testing.TB, seed int64, workers int) *parWorldResult {
+	t.Helper()
+	topoRng := rand.New(rand.NewSource(seed))
+	hosts := 60 + topoRng.Intn(200)
+	hpe := 16 + topoRng.Intn(48)
+	d := func() time.Duration {
+		return time.Duration(500+topoRng.Intn(1500)) * time.Microsecond
+	}
+	sim := NewSimulator(simStart, seed)
+	f, err := BuildFanout(sim, FanoutSpec{
+		Hosts: hosts, HostsPerEdge: hpe, Outside: 2,
+		ShardSubtrees: true,
+		HostLink:      LinkConfig{Delay: d()},
+		EdgeLink:      LinkConfig{Delay: d(), RateBps: 50e6, QueueLen: 64},
+		TransitLink:   LinkConfig{Delay: d(), RateBps: 80e6, QueueLen: 64},
+		OutsideLink:   LinkConfig{Delay: d()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetWorkers(workers)
+
+	res := &parWorldResult{}
+	sim.Trace(func(ev TraceEvent) {
+		res.trace = append(res.trace, parTraceRec{
+			kind: ev.Kind, at: ev.Time.UnixNano(), node: ev.Node.Name,
+			pkt: bytes.Clone(ev.Pkt),
+		})
+	})
+	delivered := f.CountDeliveries()
+
+	const total = 400 * time.Millisecond
+	end := simStart.Add(total)
+	// A jittered self-rescheduling sender anchored to its node: the
+	// shape every shard-pinned source in the tree uses.
+	sender := func(node *Node, pkt []byte, meanGap time.Duration) {
+		var seq uint64
+		var step func()
+		step = func() {
+			if node.Now().After(end) {
+				return
+			}
+			pkt[len(pkt)-1] = byte(seq)
+			seq++
+			_ = node.Send(pkt)
+			gap := meanGap/2 + time.Duration(node.Rand().Int63n(int64(meanGap)))
+			node.Schedule(gap, step)
+		}
+		node.Schedule(time.Duration(node.Rand().Int63n(int64(meanGap))), step)
+	}
+
+	// Downstream: outside0 sprays every 3rd host.
+	for i := 0; i < hosts; i += 3 {
+		sender(f.Outside[0], mkUDP(t, f.OutsideAddr(0), f.HostAddr(i), []byte{byte(i), 0}), 9*time.Millisecond)
+	}
+	// Subtree chatter: every 4th host talks to a neighbor under the
+	// same edge (never leaves the shard).
+	for i := 0; i+1 < hosts; i += 4 {
+		j := i + 1
+		if i/hpe != j/hpe {
+			continue
+		}
+		sender(f.Hosts[i], mkUDP(t, f.HostAddr(i), f.HostAddr(j), []byte{0xCC, 0}), 6*time.Millisecond)
+	}
+	// Upstream: every 7th host talks to outside1 (crosses every tier).
+	var upstream uint64
+	f.Outside[1].SetHandler(func(time.Time, []byte) { upstream++ })
+	for i := 0; i < hosts; i += 7 {
+		sender(f.Hosts[i], mkUDP(t, f.HostAddr(i), f.OutsideAddr(1), []byte{0xDD, 0}), 11*time.Millisecond)
+	}
+
+	// Run in chunks (partial epochs), then drain in-flight packets.
+	sim.RunFor(total / 3)
+	sim.RunFor(total / 3)
+	sim.Run()
+
+	res.delivered = sim.Delivered()
+	res.forwarded = sim.Forwarded()
+	res.dropped = sim.Dropped()
+	res.events = sim.EventsProcessed()
+	res.hostTallies = delivered.Total() + upstream
+	return res
+}
+
+// TestParallelTraceEquivalence is the serial-vs-parallel property test:
+// on random sharded fan-outs with random traffic, the ordered TraceEvent
+// stream and every engine counter must be identical at workers=1 and
+// workers=N.
+func TestParallelTraceEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			serial := runParWorld(t, seed, 1)
+			if serial.delivered == 0 || serial.hostTallies == 0 {
+				t.Fatalf("degenerate world: delivered=%d tallies=%d", serial.delivered, serial.hostTallies)
+			}
+			for _, workers := range []int{3, 4} {
+				par := runParWorld(t, seed, workers)
+				if par.delivered != serial.delivered || par.forwarded != serial.forwarded ||
+					par.dropped != serial.dropped || par.events != serial.events ||
+					par.hostTallies != serial.hostTallies {
+					t.Fatalf("workers=%d counters diverged: serial={d:%d f:%d dr:%d ev:%d tl:%d} parallel={d:%d f:%d dr:%d ev:%d tl:%d}",
+						workers,
+						serial.delivered, serial.forwarded, serial.dropped, serial.events, serial.hostTallies,
+						par.delivered, par.forwarded, par.dropped, par.events, par.hostTallies)
+				}
+				if len(par.trace) != len(serial.trace) {
+					t.Fatalf("workers=%d trace length %d, serial %d", workers, len(par.trace), len(serial.trace))
+				}
+				for i := range serial.trace {
+					a, b := serial.trace[i], par.trace[i]
+					if a.kind != b.kind || a.at != b.at || a.node != b.node || !bytes.Equal(a.pkt, b.pkt) {
+						t.Fatalf("workers=%d trace[%d] diverged:\n serial  %v t=%d %s %x\n parallel %v t=%d %s %x",
+							workers, i, a.kind, a.at, a.node, a.pkt, b.kind, b.at, b.node, b.pkt)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelReplayIdentical pins that two runs at the same worker
+// count are bit-identical too (the -seed discipline, sharded).
+func TestParallelReplayIdentical(t *testing.T) {
+	a := runParWorld(t, 9, 4)
+	b := runParWorld(t, 9, 4)
+	if a.events != b.events || a.delivered != b.delivered || len(a.trace) != len(b.trace) {
+		t.Fatalf("replay diverged: events %d/%d delivered %d/%d trace %d/%d",
+			a.events, b.events, a.delivered, b.delivered, len(a.trace), len(b.trace))
+	}
+}
+
+// TestShardRNGIndependence pins the per-shard RNG derivation: shard 0
+// keeps the root seed's stream (single-shard compatibility) and other
+// shards draw from independent splitmix-derived streams that do not
+// depend on the worker count.
+func TestShardRNGIndependence(t *testing.T) {
+	mk := func(workers int) (*Simulator, *Fanout) {
+		sim := NewSimulator(simStart, 5)
+		f, err := BuildFanout(sim, FanoutSpec{Hosts: 40, HostsPerEdge: 16, ShardSubtrees: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.SetWorkers(workers)
+		return sim, f
+	}
+	sim, f := mk(1)
+	sim2, f2 := mk(4)
+	want := rand.New(rand.NewSource(5)).Int63()
+	if got := sim.Rand().Int63(); got != want {
+		t.Error("shard 0 stream diverged from the root seed's (pre-shard compatibility)")
+	}
+	if got := sim2.Rand().Int63(); got != want {
+		t.Error("shard 0 stream depends on worker count")
+	}
+	if f.Hosts[0].Rand().Int63() != f2.Hosts[0].Rand().Int63() {
+		t.Error("host shard stream depends on worker count")
+	}
+	if f.Hosts[0].ShardID() == f.Hosts[len(f.Hosts)-1].ShardID() {
+		t.Fatal("expected hosts across multiple shards")
+	}
+	if f.Hosts[0].Rand() == f.Hosts[len(f.Hosts)-1].Rand() {
+		t.Error("distinct shards share one RNG (the PR-4 determinism hazard)")
+	}
+	if f.Transit.ShardID() != 0 || f.Border.ShardID() != 1 {
+		t.Errorf("core shard plan: transit=%d border=%d, want 0/1", f.Transit.ShardID(), f.Border.ShardID())
+	}
+	_ = f2
+}

@@ -1,0 +1,248 @@
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// The parallel engine partitions a Simulator into shards: each shard
+// owns an event queue, a packet freelist, a seeded PRNG, and the nodes
+// assigned to it. Execution proceeds in conservative epochs bounded by
+// the minimum cross-shard link propagation delay (the lookahead): within
+// an epoch every shard runs independently — it may only touch its own
+// state — and packets crossing a shard boundary are staged in per-
+// destination outboxes that the receiving shard merges deterministically
+// (ordered by time, then source shard, then source sequence) at the
+// epoch barrier. Because shard assignment is a property of the topology
+// and the merge order is a pure function of event content, a seeded run
+// is bit-identical at any worker count, including 1 (see parallel.go).
+
+// shard is one partition's worker state. All fields are owned by the
+// shard: during an epoch only the goroutine executing the shard touches
+// them (outboxes are read by their destination shard, but only in the
+// merge phase, when sources are quiescent).
+type shard struct {
+	sim *Simulator
+	id  int
+
+	now    time.Time
+	seq    uint64
+	events eventQueue
+	pool   packetPool
+	rng    *rand.Rand
+
+	// outbox[d] stages events bound for shard d, in emission order.
+	outbox [][]remoteEvent
+	// mergeBuf is scratch for the deterministic incoming merge.
+	mergeBuf []remoteEvent
+
+	eventsRun uint64
+	delivered uint64
+	forwarded uint64
+	dropped   uint64
+
+	// Trace events are buffered per shard during a parallel run and
+	// merged into global (time, shard, seq) order at each barrier; the
+	// packet bytes are copied into traceBytes so the view outlives the
+	// pooled buffer.
+	traceBuf   []traceRec
+	traceBytes []byte
+	traceSeq   uint64
+}
+
+// remoteEvent is a cross-shard event staged in an outbox, tagged with
+// its origin for the deterministic merge order.
+type remoteEvent struct {
+	ev  event // at = arrival time, seq = source-shard sequence
+	src int32
+}
+
+// traceRec is one buffered trace emission.
+type traceRec struct {
+	at   time.Time
+	seq  uint64
+	node *Node
+	kind TraceKind
+	off  int // into traceBytes
+	n    int
+}
+
+// splitmix64 is the SplitMix64 mixing function: the standard way to
+// derive independent per-shard seeds from one root seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	z := x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// shardSeed derives shard id's RNG seed from the root seed. Shard 0
+// keeps the root seed itself so single-shard simulations replay
+// identically to the pre-shard engine; every other shard gets an
+// independent splitmix-derived stream.
+func shardSeed(root int64, id int) int64 {
+	if id == 0 {
+		return root
+	}
+	return int64(splitmix64(uint64(root) + uint64(id)*0x9E3779B97F4A7C15))
+}
+
+func newShard(s *Simulator, id int, now time.Time) *shard {
+	sh := &shard{sim: s, id: id, now: now,
+		rng: rand.New(rand.NewSource(shardSeed(s.seed, id)))}
+	sh.pool.shard = id
+	sh.pool.debug = s.poolDebug
+	return sh
+}
+
+// SetShardCount declares n shards (n >= 1; the count only grows).
+// Topology builders call it before assigning nodes with Node.SetShard.
+// Each shard's PRNG derives from the simulator seed via splitmix, so
+// shard RNG streams are a function of (seed, shard id) alone — never of
+// the worker count the simulation later runs with.
+func (s *Simulator) SetShardCount(n int) {
+	for len(s.shards) < n {
+		s.shards = append(s.shards, newShard(s, len(s.shards), s.Now()))
+	}
+	s.planDirty = true
+}
+
+// ShardCount reports the declared number of shards.
+func (s *Simulator) ShardCount() int { return len(s.shards) }
+
+// SetWorkers sets how many OS threads execute the shards during Run
+// (default 1). Workers only parallelize execution: with a fixed seed,
+// results are bit-identical at every worker count. Values above the
+// shard count are clamped at run time.
+func (s *Simulator) SetWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	s.workers = w
+}
+
+// Workers reports the configured execution parallelism.
+func (s *Simulator) Workers() int { return s.workers }
+
+// SetShard assigns the node to a shard declared with SetShardCount.
+// Assign shards while building the topology, before any traffic is
+// scheduled: events already queued on the old shard are not migrated.
+func (n *Node) SetShard(id int) {
+	s := n.sim
+	if id < 0 || id >= len(s.shards) {
+		panic(fmt.Sprintf("netem: node %q assigned to shard %d of %d; call SetShardCount first",
+			n.Name, id, len(s.shards)))
+	}
+	n.sh = s.shards[id]
+	s.planDirty = true
+}
+
+// ShardID reports which shard the node belongs to.
+func (n *Node) ShardID() int { return n.sh.id }
+
+// Context is the scheduling surface traffic generators and probers run
+// on. Both *Simulator and *Node implement it: single-threaded
+// simulations pass the simulator; sharded simulations must anchor each
+// source to a node so its callbacks run on (and its jitter draws from)
+// that node's shard.
+type Context interface {
+	// Now is the current virtual time of the scheduling domain.
+	Now() time.Time
+	// NowNanos is Now as integer nanoseconds (hot-path timestamp form).
+	NowNanos() int64
+	// Schedule runs fn after d of virtual time on the domain's queue.
+	Schedule(d time.Duration, fn func())
+	// Rand is the domain's seeded PRNG.
+	Rand() *rand.Rand
+}
+
+// Now returns the node's shard-local virtual time: exact inside the
+// node's own callbacks, which is what source scheduling needs.
+func (n *Node) Now() time.Time { return n.sh.now }
+
+// NowNanos returns the node's shard-local clock as nanoseconds.
+func (n *Node) NowNanos() int64 { return n.sh.now.UnixNano() }
+
+// Schedule runs fn after d of virtual time on the node's shard. Source
+// generators anchored to a node schedule here so their emissions execute
+// on the shard that owns the node — the requirement for parallel runs.
+func (n *Node) Schedule(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	n.sh.schedule(n.sh.now.Add(d), event{kind: evFunc, fn: fn})
+}
+
+// Rand returns the PRNG of the node's shard. Deterministic parallel
+// simulations draw node-local jitter from here: the stream is a function
+// of (simulator seed, shard id) and is consumed only by the shard's own
+// event execution.
+func (n *Node) Rand() *rand.Rand { return n.sh.rng }
+
+// NewPacket checks a buffer out of the node's shard-local pool and
+// copies b into it — the one copy of a packet's journey. Senders that
+// run inside shard callbacks must use this (or Node.Send, which does)
+// rather than Simulator.NewPacket, which draws from shard 0.
+func (n *Node) NewPacket(b []byte) *Packet {
+	p := n.sh.pool.get(len(b))
+	copy(p.Pkt, b)
+	return p
+}
+
+// schedule enqueues ev at absolute time at (clamped to the shard's now).
+func (sh *shard) schedule(at time.Time, ev event) {
+	if at.Before(sh.now) {
+		at = sh.now
+	}
+	sh.seq++
+	ev.at = at
+	ev.seq = sh.seq
+	sh.events.push(ev)
+}
+
+// sendRemote stages ev for another shard at absolute time at. The event
+// keeps the source shard's sequence number; the destination re-sequences
+// it during its deterministic merge.
+func (sh *shard) sendRemote(dst *shard, at time.Time, ev event) {
+	sh.seq++
+	ev.at = at
+	ev.seq = sh.seq
+	for len(sh.outbox) <= dst.id {
+		sh.outbox = append(sh.outbox, nil)
+	}
+	sh.outbox[dst.id] = append(sh.outbox[dst.id], remoteEvent{ev: ev, src: int32(sh.id)})
+}
+
+// emit counts and traces one packet event on the shard.
+func (sh *shard) emit(kind TraceKind, node *Node, pkt []byte) {
+	switch {
+	case kind == TraceDeliver:
+		sh.delivered++
+	case kind == TraceForward:
+		sh.forwarded++
+	case kind >= TraceDropQueue:
+		sh.dropped++
+	}
+	s := sh.sim
+	if len(s.traces) == 0 {
+		return
+	}
+	if !s.running {
+		// Single-shard runs and setup-time emissions: hooks fire live,
+		// exactly as the serial engine always has.
+		ev := TraceEvent{Kind: kind, Time: sh.now, Node: node, Pkt: pkt}
+		for _, h := range s.traces {
+			h(ev)
+		}
+		return
+	}
+	// Parallel run: buffer (bytes copied — the pooled buffer is recycled
+	// before the barrier) and fire in merged order at the epoch barrier.
+	off := len(sh.traceBytes)
+	sh.traceBytes = append(sh.traceBytes, pkt...)
+	sh.traceSeq++
+	sh.traceBuf = append(sh.traceBuf, traceRec{
+		at: sh.now, seq: sh.traceSeq, node: node, kind: kind, off: off, n: len(pkt)})
+}

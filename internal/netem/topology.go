@@ -33,6 +33,18 @@ type FanoutSpec struct {
 	// host-edge, edge-border, border-transit and transit-outside links.
 	// Zero values mean 1ms delay, infinite rate, default queue.
 	HostLink, EdgeLink, TransitLink, OutsideLink LinkConfig
+
+	// ShardSubtrees partitions the fan-out for the parallel engine:
+	// the transit network and the outside users stay in shard 0, the
+	// border (where the neutralizer runs) gets shard 1, and each edge
+	// router with its customer hosts gets its own shard — so the
+	// outside world, the neutralizer, and the customer subtrees
+	// pipeline across workers. Shard assignment depends only on the
+	// topology, never on the worker count, which is what keeps seeded
+	// runs bit-identical at any Simulator.SetWorkers setting. Requires
+	// TransitLink and EdgeLink to keep a positive propagation delay
+	// (they bound the engine's conservative lookahead).
+	ShardSubtrees bool
 }
 
 // Fanout is a built fan-out topology with handles to every tier.
@@ -106,6 +118,11 @@ func BuildFanout(sim *Simulator, spec FanoutSpec) (*Fanout, error) {
 	if uint64(spec.Hosts) >= uint64(1)<<(32-uint(fanoutCustomerNet.Bits())) {
 		return nil, fmt.Errorf("netem: %d hosts exceed %v", spec.Hosts, fanoutCustomerNet)
 	}
+	if spec.ShardSubtrees {
+		if defaultLink(spec.TransitLink).Delay <= 0 || defaultLink(spec.EdgeLink).Delay <= 0 {
+			return nil, fmt.Errorf("netem: ShardSubtrees needs positive TransitLink and EdgeLink delay (the conservative lookahead)")
+		}
+	}
 
 	f := &Fanout{
 		Sim:         sim,
@@ -122,6 +139,11 @@ func BuildFanout(sim *Simulator, spec FanoutSpec) (*Fanout, error) {
 		return nil, err
 	}
 	f.Border, f.Transit = border, transit
+	nEdges := (spec.Hosts + spec.HostsPerEdge - 1) / spec.HostsPerEdge
+	if spec.ShardSubtrees {
+		sim.SetShardCount(2 + nEdges)
+		border.SetShard(1)
+	}
 	upLink := sim.Connect(transit, border, defaultLink(spec.TransitLink))
 	border.AddRoute(defaultRoute, upLink)
 	transit.AddRoute(f.CustomerNet, upLink)
@@ -139,13 +161,15 @@ func BuildFanout(sim *Simulator, spec FanoutSpec) (*Fanout, error) {
 		f.Outside = append(f.Outside, out)
 	}
 
-	nEdges := (spec.Hosts + spec.HostsPerEdge - 1) / spec.HostsPerEdge
 	f.Edges = make([]*Node, 0, nEdges)
 	f.Hosts = make([]*Node, 0, spec.Hosts)
 	for e := 0; e < nEdges; e++ {
 		edge, err := sim.AddNode(fmt.Sprintf("edge%d", e), "supportive")
 		if err != nil {
 			return nil, err
+		}
+		if spec.ShardSubtrees {
+			edge.SetShard(2 + e)
 		}
 		down := sim.Connect(border, edge, defaultLink(spec.EdgeLink))
 		edge.AddRoute(defaultRoute, down)
@@ -155,6 +179,9 @@ func BuildFanout(sim *Simulator, spec FanoutSpec) (*Fanout, error) {
 			host, err := sim.AddNode(fmt.Sprintf("host%d", i), "supportive", addr)
 			if err != nil {
 				return nil, err
+			}
+			if spec.ShardSubtrees {
+				host.SetShard(2 + e)
 			}
 			hl := sim.Connect(edge, host, defaultLink(spec.HostLink))
 			host.AddRoute(defaultRoute, hl)
@@ -166,14 +193,42 @@ func BuildFanout(sim *Simulator, spec FanoutSpec) (*Fanout, error) {
 	return f, nil
 }
 
-// CountDeliveries installs one shared counting handler on every customer
-// host and returns the counter: the standard measure wiring for scale
-// experiments, where per-host closures would cost N allocations.
-func (f *Fanout) CountDeliveries() *uint64 {
-	var count uint64
-	h := func(time.Time, []byte) { count++ }
-	for _, host := range f.Hosts {
-		host.SetHandler(h)
+// DeliveryCount tallies customer-host deliveries. Counts are kept per
+// shard (cache-line padded) so hosts on different shards never write the
+// same word during a parallel run.
+type DeliveryCount struct {
+	counts []paddedCount
+}
+
+type paddedCount struct {
+	n uint64
+	_ [56]byte // keep neighboring shard counters off one cache line
+}
+
+// Total sums the per-shard tallies; call it after (or between) runs.
+func (d *DeliveryCount) Total() uint64 {
+	var t uint64
+	for i := range d.counts {
+		t += d.counts[i].n
 	}
-	return &count
+	return t
+}
+
+// CountDeliveries installs one shared counting handler per shard on
+// every customer host and returns the tally: the standard measure wiring
+// for scale experiments, where per-host closures would cost N
+// allocations — and where one shared counter would be a data race across
+// shards.
+func (f *Fanout) CountDeliveries() *DeliveryCount {
+	d := &DeliveryCount{counts: make([]paddedCount, f.Sim.ShardCount())}
+	handlers := make([]Handler, f.Sim.ShardCount())
+	for _, host := range f.Hosts {
+		id := host.ShardID()
+		if handlers[id] == nil {
+			c := &d.counts[id]
+			handlers[id] = func(time.Time, []byte) { c.n++ }
+		}
+		host.SetHandler(handlers[id])
+	}
+	return d
 }

@@ -23,8 +23,8 @@ func TestBuildFanoutRouting(t *testing.T) {
 		}
 	}
 	s.Run()
-	if *delivered != 4 {
-		t.Fatalf("delivered %d/4 downstream packets", *delivered)
+	if delivered.Total() != 4 {
+		t.Fatalf("delivered %d/4 downstream packets", delivered.Total())
 	}
 
 	// Host -> outside works via default routes.
@@ -86,7 +86,7 @@ func TestBuildFanoutScales(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.Run()
-	if *delivered != 1 {
+	if delivered.Total() != 1 {
 		t.Fatal("last host unreachable")
 	}
 }

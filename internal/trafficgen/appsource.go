@@ -66,26 +66,27 @@ type AppSource struct {
 	Rng *rand.Rand
 }
 
-// Run schedules emissions for duration d starting after a small random
-// phase offset; emit receives the per-flow sequence number and the
-// application payload size in bytes.
-func (s AppSource) Run(sim *netem.Simulator, d time.Duration, emit func(seq uint64, size int)) {
+// Run schedules emissions on the scheduling context (a simulator, or a
+// node for shard-pinned flows) for duration d starting after a small
+// random phase offset; emit receives the per-flow sequence number and
+// the application payload size in bytes.
+func (s AppSource) Run(on netem.Context, d time.Duration, emit func(seq uint64, size int)) {
 	rng := s.Rng
 	if rng == nil {
-		rng = sim.Rand()
+		rng = on.Rand()
 	}
-	st := &appState{app: s.App, rng: rng, end: sim.Now().Add(d)}
+	st := &appState{app: s.App, rng: rng, end: on.Now().Add(d)}
 	var seq uint64
 	var step func()
 	step = func() {
-		if sim.Now().After(st.end) {
+		if on.Now().After(st.end) {
 			return
 		}
 		emit(seq, st.size())
 		seq++
-		sim.Schedule(st.gap(), step)
+		on.Schedule(st.gap(), step)
 	}
-	sim.Schedule(time.Duration(rng.Int63n(int64(20*time.Millisecond))), step)
+	on.Schedule(time.Duration(rng.Int63n(int64(20*time.Millisecond))), step)
 }
 
 // appState produces the (size, gap) sequence for one flow.

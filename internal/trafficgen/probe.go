@@ -27,7 +27,7 @@ type ControlSource struct {
 	MinSize, MaxSize int
 }
 
-func (s *ControlSource) fill(sim *netem.Simulator) *rand.Rand {
+func (s *ControlSource) fill(on netem.Context) *rand.Rand {
 	if s.MeanGap <= 0 {
 		s.MeanGap = 25 * time.Millisecond
 	}
@@ -40,31 +40,31 @@ func (s *ControlSource) fill(sim *netem.Simulator) *rand.Rand {
 	if s.Rng != nil {
 		return s.Rng
 	}
-	return sim.Rand()
+	return on.Rand()
 }
 
 // Run schedules control emissions for duration d; emit receives the
 // per-flow sequence number and the payload size in bytes.
-func (s ControlSource) Run(sim *netem.Simulator, d time.Duration, emit func(seq uint64, size int)) {
-	rng := s.fill(sim)
-	end := sim.Now().Add(d)
+func (s ControlSource) Run(on netem.Context, d time.Duration, emit func(seq uint64, size int)) {
+	rng := s.fill(on)
+	end := on.Now().Add(d)
 	var seq uint64
 	var step func()
 	step = func() {
-		if sim.Now().After(end) {
+		if on.Now().After(end) {
 			return
 		}
 		emit(seq, s.MinSize+rng.Intn(s.MaxSize-s.MinSize))
 		seq++
-		sim.Schedule(s.gap(rng), step)
+		on.Schedule(s.gap(rng), step)
 	}
-	sim.Schedule(s.gap(rng), step)
+	on.Schedule(s.gap(rng), step)
 }
 
 // RunN schedules a finite burst of exactly n control emissions — the
 // naive audit strategy's short-lived probe flows.
-func (s ControlSource) RunN(sim *netem.Simulator, n int, emit func(seq uint64, size int)) {
-	rng := s.fill(sim)
+func (s ControlSource) RunN(on netem.Context, n int, emit func(seq uint64, size int)) {
+	rng := s.fill(on)
 	var seq uint64
 	var step func()
 	step = func() {
@@ -73,9 +73,9 @@ func (s ControlSource) RunN(sim *netem.Simulator, n int, emit func(seq uint64, s
 		}
 		emit(seq, s.MinSize+rng.Intn(s.MaxSize-s.MinSize))
 		seq++
-		sim.Schedule(s.gap(rng), step)
+		on.Schedule(s.gap(rng), step)
 	}
-	sim.Schedule(s.gap(rng), step)
+	on.Schedule(s.gap(rng), step)
 }
 
 // gap draws an exponential inter-emission gap with mean MeanGap.
@@ -86,10 +86,10 @@ func (s *ControlSource) gap(rng *rand.Rand) time.Duration {
 // RunN schedules a finite burst of exactly n app-shaped emissions (the
 // same size/gap process as Run, bounded by count instead of time): the
 // short app-imitating probe flows of the naive audit strategy.
-func (s AppSource) RunN(sim *netem.Simulator, n int, emit func(seq uint64, size int)) {
+func (s AppSource) RunN(on netem.Context, n int, emit func(seq uint64, size int)) {
 	rng := s.Rng
 	if rng == nil {
-		rng = sim.Rand()
+		rng = on.Rand()
 	}
 	st := &appState{app: s.App, rng: rng}
 	var seq uint64
@@ -100,7 +100,7 @@ func (s AppSource) RunN(sim *netem.Simulator, n int, emit func(seq uint64, size 
 		}
 		emit(seq, st.size())
 		seq++
-		sim.Schedule(st.gap(), step)
+		on.Schedule(st.gap(), step)
 	}
-	sim.Schedule(time.Duration(rng.Int63n(int64(20*time.Millisecond))), step)
+	on.Schedule(time.Duration(rng.Int63n(int64(20*time.Millisecond))), step)
 }

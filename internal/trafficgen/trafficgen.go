@@ -28,11 +28,12 @@ type CBR struct {
 	Count int
 }
 
-// Run schedules the stream on sim starting immediately and running for
-// at most d (ignored when Count > 0). Returns the number of packets that
-// will be sent. The stream self-reschedules one event at a time, so a
-// long stream costs one pending event, not n.
-func (c CBR) Run(sim *netem.Simulator, d time.Duration, send SendFunc) int {
+// Run schedules the stream on the scheduling context (a simulator, or a
+// node for shard-pinned sources on parallel runs) starting immediately
+// and running for at most d (ignored when Count > 0). Returns the number
+// of packets that will be sent. The stream self-reschedules one event at
+// a time, so a long stream costs one pending event, not n.
+func (c CBR) Run(on netem.Context, d time.Duration, send SendFunc) int {
 	n := c.Count
 	if n == 0 {
 		if c.Interval <= 0 {
@@ -40,14 +41,14 @@ func (c CBR) Run(sim *netem.Simulator, d time.Duration, send SendFunc) int {
 		}
 		n = int(d / c.Interval)
 	}
-	return selfReschedule(sim, c.Interval, n, func(seq uint64) {
+	return selfReschedule(on, c.Interval, n, func(seq uint64) {
 		send(seq, mkPayload(c.Size, seq))
 	})
 }
 
 // selfReschedule fires n emissions interval apart, rescheduling one
 // event at a time so a long stream costs one pending event, not n.
-func selfReschedule(sim *netem.Simulator, interval time.Duration, n int, fire func(seq uint64)) int {
+func selfReschedule(on netem.Context, interval time.Duration, n int, fire func(seq uint64)) int {
 	if n <= 0 {
 		return 0
 	}
@@ -57,10 +58,10 @@ func selfReschedule(sim *netem.Simulator, interval time.Duration, n int, fire fu
 		fire(uint64(i))
 		i++
 		if i < n {
-			sim.Schedule(interval, step)
+			on.Schedule(interval, step)
 		}
 	}
-	sim.Schedule(0, step)
+	on.Schedule(0, step)
 	return n
 }
 
@@ -77,9 +78,11 @@ type OpenLoop struct {
 	Count int
 }
 
-// Run schedules the open-loop source for duration d; emit receives the
-// sequence number. Returns the number of emissions that will occur.
-func (o OpenLoop) Run(sim *netem.Simulator, d time.Duration, emit func(seq uint64)) int {
+// Run schedules the open-loop source on the scheduling context for
+// duration d; emit receives the sequence number. Returns the number of
+// emissions that will occur. Anchor the context to the sending node on
+// sharded simulations so emissions run on the node's shard.
+func (o OpenLoop) Run(on netem.Context, d time.Duration, emit func(seq uint64)) int {
 	if o.RatePps <= 0 {
 		return 0
 	}
@@ -91,7 +94,7 @@ func (o OpenLoop) Run(sim *netem.Simulator, d time.Duration, emit func(seq uint6
 	if n == 0 {
 		n = int(d / interval)
 	}
-	return selfReschedule(sim, interval, n, emit)
+	return selfReschedule(on, interval, n, emit)
 }
 
 // CyclingSender returns an OpenLoop emit function that sends the template
@@ -102,9 +105,8 @@ func CyclingSender(node *netem.Node, templates [][]byte) func(seq uint64) {
 	if len(templates) == 0 {
 		panic("trafficgen: CyclingSender needs at least one template packet")
 	}
-	sim := node.Sim()
 	return func(seq uint64) {
-		_ = node.SendPacket(sim.NewPacket(templates[int(seq%uint64(len(templates)))]))
+		_ = node.SendPacket(node.NewPacket(templates[int(seq%uint64(len(templates)))]))
 	}
 }
 
@@ -116,13 +118,14 @@ func VoIPCall(duration time.Duration) CBR {
 }
 
 // Poisson schedules events with exponentially distributed gaps at the
-// given mean rate (events/sec) for duration d, using the simulator's
-// seeded PRNG for reproducibility. Returns the number scheduled.
-func Poisson(sim *netem.Simulator, rate float64, d time.Duration, fn func(seq uint64)) int {
+// given mean rate (events/sec) for duration d, drawing gaps from the
+// scheduling context's seeded PRNG (the node's shard stream when
+// anchored to a node) for reproducibility. Returns the number scheduled.
+func Poisson(on netem.Context, rate float64, d time.Duration, fn func(seq uint64)) int {
 	if rate <= 0 {
 		return 0
 	}
-	rng := sim.Rand()
+	rng := on.Rand()
 	t := time.Duration(0)
 	n := 0
 	for {
@@ -132,7 +135,7 @@ func Poisson(sim *netem.Simulator, rate float64, d time.Duration, fn func(seq ui
 			return n
 		}
 		seq := uint64(n)
-		sim.Schedule(t, func() { fn(seq) })
+		on.Schedule(t, func() { fn(seq) })
 		n++
 	}
 }
@@ -150,7 +153,7 @@ type WebMix struct {
 
 // Run schedules the mix for duration d; reqFn receives the request
 // sequence number and the size the responder should send back.
-func (w WebMix) Run(sim *netem.Simulator, d time.Duration, reqFn func(seq uint64, respSize int)) int {
+func (w WebMix) Run(on netem.Context, d time.Duration, reqFn func(seq uint64, respSize int)) int {
 	minResp := w.MinResponse
 	if minResp <= 0 {
 		minResp = 1000
@@ -159,8 +162,8 @@ func (w WebMix) Run(sim *netem.Simulator, d time.Duration, reqFn func(seq uint64
 	if alpha <= 0 {
 		alpha = 1.2
 	}
-	rng := sim.Rand()
-	return Poisson(sim, w.RatePerSec, d, func(seq uint64) {
+	rng := on.Rand()
+	return Poisson(on, w.RatePerSec, d, func(seq uint64) {
 		u := rng.Float64()
 		if u < 1e-9 {
 			u = 1e-9

@@ -189,8 +189,8 @@ func TestCyclingSenderPooledDelivery(t *testing.T) {
 	const total = 64
 	OpenLoop{RatePps: 1000, Count: total}.Run(sim, 0, send)
 	sim.Run()
-	if *delivered != total {
-		t.Fatalf("delivered %d/%d", *delivered, total)
+	if delivered.Total() != total {
+		t.Fatalf("delivered %d/%d", delivered.Total(), total)
 	}
 	// Pooled buffers: 64 sends must reuse a handful of buffers, not
 	// allocate one each.

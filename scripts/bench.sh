@@ -8,15 +8,16 @@
 #   BENCHTIME=2000x scripts/bench.sh # quicker pass
 #   BENCH='ProcessBatch|Parallel' scripts/bench.sh
 #
-# The JSON includes host core count; the 4-worker scaling check is only
-# enforced on hosts with >= 4 CPUs (see scripts/benchjson). The netem
-# engine benchmarks (NetemForward zero-alloc forwarding, NetemMetro
-# 10k-host fan-out) record sim events/sec and packets/sec alongside the
-# data-plane numbers.
+# The JSON includes host core count; the 4-worker scaling checks (data
+# plane and sharded netem engine) are only enforced on hosts with >= 4
+# CPUs (see scripts/benchjson). The netem engine benchmarks
+# (NetemForward zero-alloc forwarding, NetemMetro 10k-host fan-out,
+# NetemMetroParallel worker sweep) record sim events/sec and packets/sec
+# alongside the data-plane numbers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-DataPath|ProcessBatch|KeySetup$|VanillaForward|CryptoOps|NetemForward|NetemMetro|DPIFeatureUpdate|DPIClassify|CloakFrame|AuditTrial|AuditReportCodec}"
+BENCH="${BENCH:-DataPath|ProcessBatch|KeySetup$|VanillaForward|CryptoOps|NetemForward|NetemMetro$|NetemMetroParallel|DPIFeatureUpdate|DPIClassify|CloakFrame|AuditTrial|AuditReportCodec}"
 BENCHTIME="${BENCHTIME:-5000x}"
 GIT="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
 OUT="${OUT:-BENCH_${GIT}.json}"

@@ -6,9 +6,12 @@
 // the single-worker rate — a check that is only meaningful (and only
 // enforced) when the host actually has >= 4 CPUs, so the host core count
 // is recorded alongside every run. The netem engine checks ride along:
-// BenchmarkNetemForward must be zero-alloc, and BenchmarkNetemMetro's
+// BenchmarkNetemForward must be zero-alloc, BenchmarkNetemMetro's
 // sim events/sec and forwarded pps are recorded so the metro-scale path
-// can be tracked across PRs. So do the dpi arms-race checks:
+// can be tracked across PRs, and BenchmarkNetemMetroParallel's
+// per-worker events/s feed the sharded engine's scaling check
+// (netem_parallel_speedup: 4 workers >= 2x serial, enforced only on
+// hosts with >= 4 CPUs). So do the dpi arms-race checks:
 // BenchmarkDPIFeatureUpdate and BenchmarkDPIClassify must be zero-alloc
 // (they sit on the transit hot path), the classifier's held-out
 // accuracy on encrypted uncloaked traffic must reach 0.90, and the
@@ -169,6 +172,7 @@ func ptr(v float64) *float64 { return &v }
 func evalChecks(rep *Report) {
 	var batch, fwd, metro, dpiClassify, dpiUpdate, cloakFrame, auditTrial *Bench
 	rates := map[string]float64{}
+	parRates := map[string]float64{}
 	for i, b := range rep.Benchmarks {
 		if strings.HasPrefix(b.Name, "BenchmarkProcessBatch/") {
 			batch = &rep.Benchmarks[i]
@@ -195,6 +199,12 @@ func evalChecks(rep *Report) {
 			if i := strings.Index(b.Name, "workers="); i >= 0 {
 				w := strings.SplitN(b.Name[i+len("workers="):], "/", 2)[0]
 				rates[w] = b.Kpps
+			}
+		}
+		if strings.HasPrefix(b.Name, "BenchmarkNetemMetroParallel/") && b.EventsPerSec != nil {
+			if i := strings.Index(b.Name, "workers="); i >= 0 {
+				w := strings.SplitN(b.Name[i+len("workers="):], "/", 2)[0]
+				parRates[w] = *b.EventsPerSec
 			}
 		}
 	}
@@ -274,5 +284,28 @@ func evalChecks(rep *Report) {
 		rep.Checks["parallel_scaling_4w"] = fmt.Sprintf("pass (%.2fx of 1 worker)", r4/r1)
 	default:
 		rep.Checks["parallel_scaling_4w"] = fmt.Sprintf("FAIL (%.2fx of 1 worker, want >= 2x)", r4/r1)
+	}
+	// The sharded netem engine's scaling contract (PR 5): >= 2x metro
+	// events/s at 4 workers vs serial, enforced — like the data-plane
+	// check above — only on hosts that actually have >= 4 cores. The
+	// per-worker rates are recorded either way so the trajectory stays
+	// comparable across hosts.
+	p1, p4 := parRates["1"], parRates["4"]
+	switch {
+	case p1 == 0 || p4 == 0:
+		rep.Checks["netem_parallel_events_per_sec"] = "not run"
+		rep.Checks["netem_parallel_speedup"] = "not run"
+	default:
+		rep.Checks["netem_parallel_events_per_sec"] = fmt.Sprintf(
+			"recorded (%.0f events/s serial, %.0f at 4 workers on the sharded metro fan-out)", p1, p4)
+		switch {
+		case rep.Cores < 4:
+			rep.Checks["netem_parallel_speedup"] = fmt.Sprintf(
+				"skipped: host has %d core(s) < 4; measured %.2fx", rep.Cores, p4/p1)
+		case p4 >= 2*p1:
+			rep.Checks["netem_parallel_speedup"] = fmt.Sprintf("pass (%.2fx of 1 worker)", p4/p1)
+		default:
+			rep.Checks["netem_parallel_speedup"] = fmt.Sprintf("FAIL (%.2fx of 1 worker, want >= 2x)", p4/p1)
+		}
 	}
 }
