@@ -27,6 +27,7 @@ import (
 	"netneutral/internal/eval"
 	"netneutral/internal/netem"
 	"netneutral/internal/onion"
+	"netneutral/internal/simnet"
 	"netneutral/internal/wire"
 )
 
@@ -413,6 +414,72 @@ func BenchmarkNetemMetroParallel(b *testing.B) {
 				b.ReportMetric(float64(fix.Events()-ev0)/sec, "events/s")
 			}
 		})
+	}
+}
+
+// BenchmarkSimnetUDPEcho measures the simnet bridge's wake/step overhead:
+// one blocking UDP echo round trip (client Write -> virtual 1ms link ->
+// server ReadFrom/WriteTo -> client Read) per op, driven by the
+// quiescence-detecting driver. The dominant cost is the runtime.Stack
+// quiescence probe per wake, which is the price of running unmodified
+// blocking protocol stacks deterministically; the "rtps" metric (echo
+// round trips per wall second) is recorded as simnet_echo_rtps in
+// BENCH_*.json so bridge overhead stays visible across PRs.
+func BenchmarkSimnetUDPEcho(b *testing.B) {
+	simStart := time.Date(2006, 11, 1, 0, 0, 0, 0, time.UTC)
+	sim := netem.NewSimulator(simStart, 1)
+	srvAddr := netip.MustParseAddr("10.0.0.1")
+	s := sim.MustAddNode("srv", "", srvAddr)
+	c := sim.MustAddNode("cli", "", netip.MustParseAddr("10.0.0.2"))
+	sim.Connect(s, c, netem.LinkConfig{Delay: time.Millisecond})
+	sim.BuildRoutes()
+	n := simnet.New(sim)
+	srv, err := n.ListenUDP(s, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli, err := n.DialUDP(c, netip.AddrPortFrom(srvAddr, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.Go(func() {
+		buf := make([]byte, 128)
+		for {
+			m, from, err := srv.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			if _, err := srv.WriteTo(buf[:m], from); err != nil {
+				return
+			}
+		}
+	})
+	done := 0
+	n.Go(func() {
+		defer srv.Close()
+		msg := make([]byte, 64)
+		buf := make([]byte, 128)
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.Write(msg); err != nil {
+				return
+			}
+			if m, err := cli.Read(buf); err != nil || m != len(msg) {
+				return
+			}
+			done++
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := n.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if done != b.N {
+		b.Fatalf("completed %d/%d round trips", done, b.N)
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(done)/sec, "rtps")
 	}
 }
 

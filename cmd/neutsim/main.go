@@ -25,6 +25,16 @@
 // and path-segment localization. A failed audit verdict exits
 // non-zero; CI smokes it at reduced scale.
 //
+// With -realproto it runs the E10 real-protocol scenario: a blocking
+// DNS client and unmodified net/http servers and clients execute over
+// simnet's virtual-time sockets — DNS bootstrap, §3.2 key setup, and
+// keep-alive HTTP requests through the neutralizer — while the
+// E7-trained DPI classifier taps transit and an E8-style audit vantage
+// measures real request latencies against a targeted throttler. Every
+// verdict is self-enforced (eval.RealProtoStats.Enforce); a violation
+// exits non-zero, and the narration is deterministic for a fixed -seed,
+// which is how CI byte-diffs two runs.
+//
 // With -parscale it runs the E9 parallel-scaling sweep: the metro
 // workload (downstream neutralized load plus intra-subtree chatter) at
 // worker counts 1/2/4, enforcing that every deterministic outcome is
@@ -48,6 +58,7 @@
 //	neutsim -arms -flows 8 -duration 2s -seed 7 # arms race, 8 flows/class
 //	neutsim -audit -vantages 8 -trials 10 -seed 7 # neutrality audit
 //	neutsim -parscale -hosts 2000 -duration 500ms # E9 worker sweep
+//	neutsim -realproto -seed 7                    # E10 real protocols
 package main
 
 import (
@@ -91,12 +102,17 @@ func main() {
 	flows := flag.Int("flows", 25, "arms race: flows per application class")
 	auditFlag := flag.Bool("audit", false, "run the E8 neutrality audit (differential probing vs stealthy throttling)")
 	parscale := flag.Bool("parscale", false, "run the E9 parallel-scaling sweep (worker counts 1/2/4, bit-identical outcomes enforced)")
+	realproto := flag.Bool("realproto", false, "run the E10 real-protocol scenario (dns + net/http over simnet vs dpi and audit)")
 	simWorkers := flag.Int("simworkers", 1, "threads executing the sharded metro/audit engine (results are identical at any value)")
 	vantages := flag.Int("vantages", 12, "audit: outside vantage points (inside reference vantages scale as 1/3)")
 	trials := flag.Int("trials", 12, "audit: paired measurement trials per vantage")
 	duration := flag.Duration("duration", 2*time.Second, "simulated traffic duration for the metro/arms scenarios")
 	flag.Parse()
 
+	if *realproto {
+		runRealProto(*seed)
+		return
+	}
 	if *parscale {
 		runParScale(*hosts, *seed, *duration)
 		return
@@ -210,6 +226,33 @@ func runMetro(hosts int, seed int64, duration time.Duration, workers int) {
 	fmt.Printf("engine          %d sim events in %v wall: %.0f events/sec, %.0f fwd pps, %.0f delivered pps\n",
 		st.SimEvents, st.RunTime.Round(time.Millisecond), st.EventsPerSec, st.ForwardPps, st.DeliveredPps)
 	fmt.Printf("packet pool     %d buffers backed %d checkouts\n", st.PoolAllocated, st.PoolGets)
+}
+
+// runRealProto drives the E10 real-protocol scenario and narrates it;
+// any failed self-check (eval.RealProtoStats.Enforce) exits non-zero.
+// The narration depends only on -seed, so two runs byte-diff clean.
+func runRealProto(seed int64) {
+	fmt.Println("== real protocols over the sim: blocking dns + unmodified net/http ==")
+	st, err := eval.RunRealProto(eval.RealProtoConfig{Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st.Enforce(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dns         plain rtt %v, encrypted rtt %v  (blocking client, exact virtual latency)\n",
+		st.DNS.PlainRTT, st.DNS.EncRTT)
+	fmt.Printf("dns         nxdomain surfaced: %v; dead-port read deadline fired: %v\n",
+		st.DNS.NXDomainOK, st.DNS.TimeoutOK)
+	fmt.Printf("http        %d/%d keep-alive requests ok through shim conduits, mean rtt %v\n",
+		st.HTTP.OK, st.HTTP.Want, st.HTTP.MeanRTT.Round(time.Microsecond))
+	fmt.Printf("dpi tap     %d client flows observed at transit; classified as {%s} — never voip, never the customer\n",
+		st.HTTP.Flows, st.HTTP.ClassHist())
+	fmt.Printf("audit       clean path discriminated=%v  (%d trials of real request latency)\n",
+		st.Neutral.Discriminated, st.Neutral.Trials)
+	fmt.Printf("audit       20ms targeted throttle discriminated=%v  (delay gap %.1fx, MW p=%.2g)\n",
+		st.Throttled.Discriminated, st.Throttled.DelayGap, st.Throttled.DelayMW.P)
+	fmt.Println("determinism verified per seed: simnet parks real goroutines and replays bit-identically")
 }
 
 // runParScale drives the E9 worker sweep; RunParScale exits non-zero

@@ -15,6 +15,7 @@
 package dnssim
 
 import (
+	"bytes"
 	"crypto/rand"
 	"encoding/binary"
 	"errors"
@@ -37,6 +38,7 @@ var (
 	ErrBadMessage  = errors.New("dnssim: malformed message")
 	ErrNotEnabled  = errors.New("dnssim: resolver does not accept encrypted queries")
 	ErrQueryFailed = errors.New("dnssim: query failed")
+	ErrBadRecord   = errors.New("dnssim: record not encodable")
 )
 
 // Record is the bootstrap information a destination publishes (§3.1):
@@ -49,29 +51,61 @@ type Record struct {
 	PublicKey    e2e.PublicKey
 }
 
-// Marshal encodes a record.
-func (r Record) Marshal() []byte {
+// recordAddr4 validates that a is encodable as the wire's 4-byte
+// address field: an IPv4 (or 4-in-6 mapped) address.
+func recordAddr4(a netip.Addr) ([4]byte, error) {
+	if !a.Is4() && !a.Is4In6() {
+		return [4]byte{}, fmt.Errorf("%w: address %v is not IPv4", ErrBadRecord, a)
+	}
+	return a.As4(), nil
+}
+
+// Marshal encodes a record. Every variable-length field is validated
+// against its length prefix before encoding: a name longer than 65535
+// bytes would silently truncate the u16 prefix, more than 255
+// neutralizers would wrap the count byte, and a zero or IPv6 address has
+// no 4-byte wire form — each returns an error wrapping ErrBadRecord
+// instead of emitting a corrupt record.
+func (r Record) Marshal() ([]byte, error) {
 	name := []byte(r.Name)
+	if len(name) > 0xFFFF {
+		return nil, fmt.Errorf("%w: name is %d bytes, wire limit 65535", ErrBadRecord, len(name))
+	}
+	if len(r.Neutralizers) > 0xFF {
+		return nil, fmt.Errorf("%w: %d neutralizers, wire limit 255", ErrBadRecord, len(r.Neutralizers))
+	}
+	a, err := recordAddr4(r.Addr)
+	if err != nil {
+		return nil, err
+	}
 	pk := []byte{}
 	if r.PublicKey.Valid() {
 		pk = r.PublicKey.Marshal()
 	}
+	if len(pk) > 0xFFFF {
+		return nil, fmt.Errorf("%w: public key is %d bytes, wire limit 65535", ErrBadRecord, len(pk))
+	}
 	out := make([]byte, 0, 2+len(name)+4+1+4*len(r.Neutralizers)+2+len(pk))
 	out = append(out, byte(len(name)>>8), byte(len(name)))
 	out = append(out, name...)
-	a := r.Addr.As4()
 	out = append(out, a[:]...)
 	out = append(out, byte(len(r.Neutralizers)))
 	for _, n := range r.Neutralizers {
-		n4 := n.As4()
+		n4, err := recordAddr4(n)
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, n4[:]...)
 	}
 	out = append(out, byte(len(pk)>>8), byte(len(pk)))
 	out = append(out, pk...)
-	return out
+	return out, nil
 }
 
-// UnmarshalRecord reverses Marshal.
+// UnmarshalRecord reverses Marshal. Like the audit report codec, it is
+// strict: unconsumed bytes after the public key are a malformed message,
+// not ignorable padding — round-tripping any accepted encoding must
+// reproduce it byte for byte.
 func UnmarshalRecord(b []byte) (Record, error) {
 	if len(b) < 2 {
 		return Record{}, ErrBadMessage
@@ -105,7 +139,16 @@ func UnmarshalRecord(b []byte) (Record, error) {
 		if err != nil {
 			return Record{}, err
 		}
+		// Only the canonical key form is a valid record field: a
+		// non-minimal modulus encoding would re-encode shorter, breaking
+		// Marshal/Unmarshal byte symmetry.
+		if !bytes.Equal(pk.Marshal(), b[:pl]) {
+			return Record{}, fmt.Errorf("%w: non-canonical public key encoding", ErrBadMessage)
+		}
 		r.PublicKey = pk
+	}
+	if len(b) != pl {
+		return Record{}, fmt.Errorf("%w: %d trailing bytes after public key", ErrBadMessage, len(b)-pl)
 	}
 	return r, nil
 }
@@ -187,7 +230,13 @@ func (r *Resolver) handle(now time.Time, pkt []byte) {
 			r.reply(ip.Src, udp.SrcPort, []byte{msgNXDomain, 0})
 			return
 		}
-		body := rec.Marshal()
+		body, err := rec.Marshal()
+		if err != nil {
+			// A record the zone accepted but the wire cannot carry:
+			// answer NXDomain rather than emit a corrupt encoding.
+			r.reply(ip.Src, udp.SrcPort, []byte{msgNXDomain, 0})
+			return
+		}
 		r.reply(ip.Src, udp.SrcPort, append([]byte{msgAnswerPlain, 0}, body...))
 	case msgQueryEnc:
 		if r.identity == nil {
@@ -211,8 +260,10 @@ func (r *Resolver) handle(now time.Time, pkt []byte) {
 		var body []byte
 		if !ok {
 			body = []byte{msgNXDomain}
+		} else if enc, err := rec.Marshal(); err != nil {
+			body = []byte{msgNXDomain}
 		} else {
-			body = append([]byte{msgAnswerEnc}, rec.Marshal()...)
+			body = append([]byte{msgAnswerEnc}, enc...)
 		}
 		sealed, err := sess.Seal(body)
 		if err != nil {
@@ -259,8 +310,11 @@ func NewClient(node *netem.Node, rng io.Reader) *Client {
 
 // LookupPlain issues a plaintext query (the discriminable kind).
 func (c *Client) LookupPlain(resolver netip.Addr, name string, cb func(Record, error)) error {
+	q, err := encodeQueryPlain(name)
+	if err != nil {
+		return err
+	}
 	port := c.allocPort(&pendingQuery{callback: cb})
-	q := append([]byte{msgQueryPlain, byte(len(name))}, name...)
 	pkt, err := buildUDP(c.node.Addr(), resolver, port, Port, q)
 	if err != nil {
 		return err
@@ -272,28 +326,78 @@ func (c *Client) LookupPlain(resolver netip.Addr, name string, cb func(Record, e
 // key the client was configured with (§3.1: "clients will be configured
 // with the IP addresses, the public keys ... of those DNS resolvers").
 func (c *Client) LookupEncrypted(resolver netip.Addr, resolverKey e2e.PublicKey, name string, cb func(Record, error)) error {
-	seed := make([]byte, 32)
-	if _, err := io.ReadFull(c.rng, seed); err != nil {
-		return err
-	}
-	sess, err := e2e.SessionFromSeed(seed, c.rng)
+	q, sess, err := encodeQueryEncrypted(c.rng, resolverKey, name)
 	if err != nil {
 		return err
-	}
-	ct, err := e2e.EncryptSmall(c.rng, resolverKey, append(seed, []byte(name)...))
-	if err != nil {
-		return fmt.Errorf("dnssim: encrypting query: %w", err)
 	}
 	port := c.allocPort(&pendingQuery{callback: cb, sess: sess, enc: true})
-	q := make([]byte, 3+len(ct))
-	q[0] = msgQueryEnc
-	binary.BigEndian.PutUint16(q[1:3], uint16(len(ct)))
-	copy(q[3:], ct)
 	pkt, err := buildUDP(c.node.Addr(), resolver, port, Port, q)
 	if err != nil {
 		return err
 	}
 	return c.node.Send(pkt)
+}
+
+// encodeQueryPlain builds the plaintext query payload.
+func encodeQueryPlain(name string) ([]byte, error) {
+	if len(name) > 0xFF {
+		return nil, fmt.Errorf("%w: name is %d bytes, wire limit 255", ErrBadRecord, len(name))
+	}
+	return append([]byte{msgQueryPlain, byte(len(name))}, name...), nil
+}
+
+// encodeQueryEncrypted builds the encrypted query payload and the
+// session the answer will come back sealed under.
+func encodeQueryEncrypted(rng io.Reader, resolverKey e2e.PublicKey, name string) ([]byte, *e2e.Session, error) {
+	seed := make([]byte, 32)
+	if _, err := io.ReadFull(rng, seed); err != nil {
+		return nil, nil, err
+	}
+	sess, err := e2e.SessionFromSeed(seed, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	ct, err := e2e.EncryptSmall(rng, resolverKey, append(seed, []byte(name)...))
+	if err != nil {
+		return nil, nil, fmt.Errorf("dnssim: encrypting query: %w", err)
+	}
+	q := make([]byte, 3+len(ct))
+	q[0] = msgQueryEnc
+	binary.BigEndian.PutUint16(q[1:3], uint16(len(ct)))
+	copy(q[3:], ct)
+	return q, sess, nil
+}
+
+// decodeAnswerPlain parses a plaintext answer payload (kind byte +
+// reserved byte + record body).
+func decodeAnswerPlain(body []byte) (Record, error) {
+	if len(body) < 2 {
+		return Record{}, ErrBadMessage
+	}
+	switch body[0] {
+	case msgAnswerPlain:
+		return UnmarshalRecord(body[2:])
+	case msgNXDomain:
+		return Record{}, ErrNoSuchName
+	default:
+		return Record{}, ErrBadMessage
+	}
+}
+
+// decodeAnswerEncrypted opens a sealed answer payload with the query's
+// session.
+func decodeAnswerEncrypted(sess *e2e.Session, body []byte) (Record, error) {
+	if len(body) < 2 || body[0] != msgAnswerEnc {
+		return Record{}, ErrQueryFailed
+	}
+	pt, err := sess.Open(body[2:])
+	if err != nil || len(pt) < 1 {
+		return Record{}, ErrQueryFailed
+	}
+	if pt[0] == msgNXDomain {
+		return Record{}, ErrNoSuchName
+	}
+	return UnmarshalRecord(pt[1:])
 }
 
 func (c *Client) allocPort(p *pendingQuery) uint16 {
@@ -317,38 +421,13 @@ func (c *Client) handle(now time.Time, pkt []byte) {
 	}
 	delete(c.pending, udp.DstPort)
 	body := udp.Payload()
-	if len(body) < 2 {
-		p.callback(Record{}, ErrBadMessage)
-		return
-	}
-	kind, rest := body[0], body[2:]
 	if p.enc {
-		if kind != msgAnswerEnc {
-			p.callback(Record{}, ErrQueryFailed)
-			return
-		}
-		pt, err := p.sess.Open(rest)
-		if err != nil || len(pt) < 1 {
-			p.callback(Record{}, ErrQueryFailed)
-			return
-		}
-		if pt[0] == msgNXDomain {
-			p.callback(Record{}, ErrNoSuchName)
-			return
-		}
-		rec, err := UnmarshalRecord(pt[1:])
+		rec, err := decodeAnswerEncrypted(p.sess, body)
 		p.callback(rec, err)
 		return
 	}
-	switch kind {
-	case msgAnswerPlain:
-		rec, err := UnmarshalRecord(rest)
-		p.callback(rec, err)
-	case msgNXDomain:
-		p.callback(Record{}, ErrNoSuchName)
-	default:
-		p.callback(Record{}, ErrBadMessage)
-	}
+	rec, err := decodeAnswerPlain(body)
+	p.callback(rec, err)
 }
 
 func buildUDP(src, dst netip.Addr, sport, dport uint16, payload []byte) ([]byte, error) {

@@ -39,9 +39,18 @@ func googleRecord(t *testing.T) Record {
 	}
 }
 
+func mustMarshal(t *testing.T, rec Record) []byte {
+	t.Helper()
+	b, err := rec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
 func TestRecordMarshalRoundTrip(t *testing.T) {
 	rec := googleRecord(t)
-	got, err := UnmarshalRecord(rec.Marshal())
+	got, err := UnmarshalRecord(mustMarshal(t, rec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +65,7 @@ func TestRecordMarshalRoundTrip(t *testing.T) {
 	}
 	// No public key.
 	rec2 := Record{Name: "x", Addr: googleAddr}
-	got2, err := UnmarshalRecord(rec2.Marshal())
+	got2, err := UnmarshalRecord(mustMarshal(t, rec2))
 	if err != nil || got2.PublicKey.Valid() {
 		t.Errorf("keyless record: %+v %v", got2, err)
 	}

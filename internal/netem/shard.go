@@ -82,11 +82,19 @@ func splitmix64(x uint64) uint64 {
 // keeps the root seed itself so single-shard simulations replay
 // identically to the pre-shard engine; every other shard gets an
 // independent splitmix-derived stream.
+//
+// The root is mixed once before stepping the SplitMix64 stream. Feeding
+// root+id*golden straight into the mixer made distinct (root, id) pairs
+// land on the same stream position — shardSeed(r, 2) == shardSeed(r+g, 1)
+// for the golden-ratio increment g — so two experiments whose seeds
+// differed by g shared shard RNG streams. Mixing the root first makes the
+// stream origin a pseudo-random function of the root, and stream
+// positions of related roots unrelated.
 func shardSeed(root int64, id int) int64 {
 	if id == 0 {
 		return root
 	}
-	return int64(splitmix64(uint64(root) + uint64(id)*0x9E3779B97F4A7C15))
+	return int64(splitmix64(splitmix64(uint64(root)) + uint64(id)*0x9E3779B97F4A7C15))
 }
 
 func newShard(s *Simulator, id int, now time.Time) *shard {

@@ -17,6 +17,9 @@
 //   - NewKeySchedule: the shared master-key schedule (internal/crypto/keys)
 //   - NewHost: the end-host shim stack (internal/endhost)
 //   - NewSimulator: the discrete-event network emulator (internal/netem)
+//   - NewSimNet: virtual-time net.Conn/net.PacketConn endpoints over the
+//     emulator, so real protocol stacks (net/http, blocking resolvers)
+//     run unmodified inside deterministic simulations (internal/simnet)
 //   - NewDPIEngine: the statistical traffic-analysis adversary (internal/dpi)
 //   - NewCloakShaper: padding/timing countermeasures (internal/cloak)
 //   - NewAuditProber / AuditDecide / AuditSummarize: the active
@@ -50,6 +53,7 @@ import (
 	"netneutral/internal/endhost"
 	"netneutral/internal/eval"
 	"netneutral/internal/netem"
+	"netneutral/internal/simnet"
 )
 
 // Neutralizer is the stateless border service (the paper's primary
@@ -133,6 +137,27 @@ type Simulator = netem.Simulator
 // and a seeded PRNG.
 func NewSimulator(start time.Time, seed int64) *Simulator { return netem.NewSimulator(start, seed) }
 
+// SimNet bridges ordinary blocking Go code onto a Simulator: sockets
+// whose reads, deadlines and sleeps advance virtual time while the
+// driver keeps seeded runs bit-identical. Workload goroutines are
+// registered with SimNet.Go and the run is driven by SimNet.Run.
+type SimNet = simnet.Net
+
+// NewSimNet wraps a serial Simulator. The Simulator must not be stepped
+// directly while the SimNet drives it.
+func NewSimNet(sim *Simulator) *SimNet { return simnet.New(sim) }
+
+// SimUDPConn is a virtual-time datagram endpoint (net.PacketConn, and
+// net.Conn once connected) on a simulated node.
+type SimUDPConn = simnet.UDPConn
+
+// SimStreamConn is a virtual-time ordered byte stream (net.Conn) over
+// the simulated fabric — the conn type net/http runs on in experiments.
+type SimStreamConn = simnet.StreamConn
+
+// SimStreamListener accepts SimStreamConns (net.Listener).
+type SimStreamListener = simnet.StreamListener
+
 // DPIEngine is the statistical traffic-analysis adversary: a stateful
 // flow tracker, a trained application classifier, and per-class
 // enforcement (token-bucket policing, probabilistic drop) compiled into
@@ -211,7 +236,7 @@ type Experiment = eval.Experiment
 // ExperimentResult is an experiment's paper-vs-measured row set.
 type ExperimentResult = eval.Result
 
-// Experiments returns every registered experiment (E1-E7, F1-F2, A1-A8 —
+// Experiments returns every registered experiment (E1-E10, F1-F2, A1-A8 —
 // `neutbench -list` prints the index; see README.md).
 func Experiments() []Experiment { return eval.All() }
 

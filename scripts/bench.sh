@@ -17,7 +17,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-DataPath|ProcessBatch|KeySetup$|VanillaForward|CryptoOps|NetemForward|NetemMetro$|NetemMetroParallel|DPIFeatureUpdate|DPIClassify|CloakFrame|AuditTrial|AuditReportCodec}"
+BENCH="${BENCH:-DataPath|ProcessBatch|KeySetup$|VanillaForward|CryptoOps|NetemForward|NetemMetro$|NetemMetroParallel|DPIFeatureUpdate|DPIClassify|CloakFrame|AuditTrial|AuditReportCodec|SimnetUDPEcho}"
 BENCHTIME="${BENCHTIME:-5000x}"
 GIT="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
 OUT="${OUT:-BENCH_${GIT}.json}"

@@ -19,7 +19,11 @@
 // audit checks complete the set: BenchmarkAuditTrial's measured
 // detection power against blatant dpi throttling must reach 0.90
 // (audit_detection_power) and its neutral-ISP false-positive rate must
-// stay at or below 0.05 (audit_false_positive_rate).
+// stay at or below 0.05 (audit_false_positive_rate). Finally
+// BenchmarkSimnetUDPEcho's "rtps" metric (blocking UDP echo round trips
+// per wall second through the simnet bridge) is recorded as
+// simnet_echo_rtps so the virtual-time driver's overhead is tracked
+// across PRs.
 package main
 
 import (
@@ -59,6 +63,9 @@ type Bench struct {
 	// false-positive rate) metrics.
 	Power *float64 `json:"audit_power,omitempty"`
 	FPR   *float64 `json:"audit_fpr,omitempty"`
+	// RTPerSec carries BenchmarkSimnetUDPEcho's "rtps" metric (blocking
+	// echo round trips per wall second over the simnet bridge).
+	RTPerSec *float64 `json:"rt_per_sec,omitempty"`
 }
 
 // Report is the BENCH_*.json document.
@@ -142,6 +149,8 @@ func main() {
 				b.Power = ptr(v)
 			case "fpr":
 				b.FPR = ptr(v)
+			case "rtps":
+				b.RTPerSec = ptr(v)
 			}
 		}
 		if b.Kpps == 0 && b.NsPerOp > 0 {
@@ -170,7 +179,7 @@ func ptr(v float64) *float64 { return &v }
 // evalChecks records the acceptance checks for the zero-alloc sharded
 // data plane.
 func evalChecks(rep *Report) {
-	var batch, fwd, metro, dpiClassify, dpiUpdate, cloakFrame, auditTrial *Bench
+	var batch, fwd, metro, dpiClassify, dpiUpdate, cloakFrame, auditTrial, simnetEcho *Bench
 	rates := map[string]float64{}
 	parRates := map[string]float64{}
 	for i, b := range rep.Benchmarks {
@@ -194,6 +203,9 @@ func evalChecks(rep *Report) {
 		}
 		if b.Name == "BenchmarkAuditTrial" {
 			auditTrial = &rep.Benchmarks[i]
+		}
+		if b.Name == "BenchmarkSimnetUDPEcho" {
+			simnetEcho = &rep.Benchmarks[i]
 		}
 		if strings.HasPrefix(b.Name, "BenchmarkDataPathParallel/") {
 			if i := strings.Index(b.Name, "workers="); i >= 0 {
@@ -272,6 +284,16 @@ func evalChecks(rep *Report) {
 		rep.Checks["audit_false_positive_rate"] = fmt.Sprintf("pass (%.3f on the neutral ISP, want <= 0.05)", *auditTrial.FPR)
 	default:
 		rep.Checks["audit_false_positive_rate"] = fmt.Sprintf("FAIL (%.3f, want <= 0.05)", *auditTrial.FPR)
+	}
+	switch {
+	case simnetEcho == nil:
+		rep.Checks["simnet_echo_rtps"] = "not run"
+	case simnetEcho.RTPerSec == nil || *simnetEcho.RTPerSec <= 0:
+		rep.Checks["simnet_echo_rtps"] = "FAIL (rtps metric missing)"
+	default:
+		rep.Checks["simnet_echo_rtps"] = fmt.Sprintf(
+			"recorded (%.0f blocking UDP echo round trips/s through the simnet bridge)",
+			*simnetEcho.RTPerSec)
 	}
 	r1, r4 := rates["1"], rates["4"]
 	switch {
