@@ -26,6 +26,7 @@ import (
 	"netneutral/internal/dpi"
 	"netneutral/internal/eval"
 	"netneutral/internal/netem"
+	"netneutral/internal/obs"
 	"netneutral/internal/onion"
 	"netneutral/internal/simnet"
 	"netneutral/internal/wire"
@@ -356,6 +357,58 @@ func BenchmarkNetemMetro(b *testing.B) {
 	const hosts = 10000
 	const burst = 512
 	st, err := eval.NewMetroBench(hosts, burst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One warmup burst outside the timer.
+	if err := st.RunBurst(); err != nil {
+		b.Fatal(err)
+	}
+	ev0, fwd0 := st.Counters()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.RunBurst(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	ev1, fwd1 := st.Counters()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(ev1-ev0)/sec, "events/s")
+		b.ReportMetric(float64(fwd1-fwd0)/sec, "pps")
+	}
+}
+
+// BenchmarkObsInc measures the observability plane's hot-path unit: one
+// single-writer counter-stripe increment on a registered family per op.
+// The acceptance bar (scripts/benchjson check obs_inc_zero_alloc) is
+// 0 allocs/op — instrumentation on the deterministic sim path must
+// never touch the allocator, and the plain stripe uses no atomics.
+func BenchmarkObsInc(b *testing.B) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("bench_obs_inc_total", "Benchmark stripe.").Stripe(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	b.StopTimer()
+	if got := c.Value(); got != uint64(b.N) {
+		b.Fatalf("counter = %d, want %d", got, b.N)
+	}
+}
+
+// BenchmarkNetemMetroObs is BenchmarkNetemMetro with the observation
+// plane live: the epoch Recorder samples every registered family at
+// each barrier and the FlightRecorder head-samples the trace stream.
+// scripts/benchjson compares its events/s against the unobserved metro
+// run and enforces obs_overhead_pct < 5% — the bound that makes
+// always-on recording tenable at metro scale.
+func BenchmarkNetemMetroObs(b *testing.B) {
+	const hosts = 10000
+	const burst = 512
+	st, err := eval.NewMetroBenchObserved(hosts, burst)
 	if err != nil {
 		b.Fatal(err)
 	}

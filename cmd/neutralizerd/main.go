@@ -21,6 +21,14 @@
 //
 // Flags configure the master-key root (hex; random if empty), the epoch
 // length, and the optional dynamic-address pool.
+//
+// Observability: -metrics ADDR serves the live export surface —
+// Prometheus text on /metrics, a JSON snapshot on /metrics.json, NDJSON
+// frames (one per second, backpressured: slow consumers drop frames,
+// the data plane never stalls) on /stream, and pprof under
+// /debug/pprof/. The data-plane counters are atomic stripes: per-worker
+// packet/drop/crypto-cache families from the shard pool, plus the
+// neutralizer's own stats snapshot.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -39,6 +48,8 @@ import (
 	"time"
 
 	"netneutral"
+	"netneutral/internal/core"
+	"netneutral/internal/obs"
 	"netneutral/internal/wire"
 )
 
@@ -53,13 +64,14 @@ func main() {
 	workers := flag.Int("workers", 1, "data-plane workers (socket readers, or pool shards with -batch)")
 	batch := flag.Int("batch", 1, "datagrams per pool batch (>1 enables the sharded batch pipeline)")
 	batchWait := flag.Duration("batchwait", 500*time.Microsecond, "max wait to fill a batch after the first datagram")
+	metrics := flag.String("metrics", "", "serve /metrics, /metrics.json, /stream and /debug/pprof on this address (\":0\" picks a port)")
 	flag.Parse()
 
 	if err := run(options{
 		listen: *listen, anycast: *anycastFlag, customers: *customers,
 		rootHex: *rootHex, epoch: *epoch, dynPool: *dynPool,
 		statsEvery: *statsEvery, workers: *workers, batch: *batch,
-		batchWait: *batchWait,
+		batchWait: *batchWait, metrics: *metrics,
 	}); err != nil {
 		log.Fatalf("neutralizerd: %v", err)
 	}
@@ -69,6 +81,7 @@ type options struct {
 	listen, anycast, customers, rootHex, dynPool string
 	epoch, statsEvery, batchWait                 time.Duration
 	workers, batch                               int
+	metrics                                      string
 }
 
 func run(o options) error {
@@ -147,6 +160,21 @@ func run(o options) error {
 	log.Printf("neutralizer listening on %s, anycast %v, customers %v (%s)",
 		conn.LocalAddr(), anycast, prefixes, mode)
 
+	// The metrics registry is created before the data plane so the pool
+	// can hand each worker its atomic counter stripes up front.
+	var mreg *obs.Registry
+	var mln net.Listener
+	if o.metrics != "" {
+		mln, err = net.Listen("tcp", o.metrics)
+		if err != nil {
+			return fmt.Errorf("bad -metrics: %w", err)
+		}
+		mreg = obs.NewRegistry()
+		mreg.GaugeFunc("neutralizerd_peers",
+			"Inner addresses with a registered tunnel endpoint.",
+			func() float64 { return float64(d.reg.len()) }, obs.Volatile())
+	}
+
 	var statsFn func() netneutral.NeutralizerStats
 	done := make(chan error, o.workers)
 	if o.batch > 1 {
@@ -158,6 +186,9 @@ func run(o options) error {
 		}
 		defer pool.Close()
 		statsFn = pool.Stats
+		if mreg != nil {
+			pool.Instrument(mreg)
+		}
 		go func() { done <- d.runBatched(pool) }()
 	} else {
 		neut, err := netneutral.NewNeutralizer(cfg)
@@ -165,9 +196,32 @@ func run(o options) error {
 			return err
 		}
 		statsFn = func() netneutral.NeutralizerStats { return neut.Stats().Snapshot() }
+		if mreg != nil {
+			core.RegisterStats(mreg, statsFn)
+		}
 		for i := 0; i < o.workers; i++ {
 			go func() { done <- d.runPerPacket(neut) }()
 		}
+	}
+
+	if mreg != nil {
+		stream := obs.NewStreamer()
+		stream.Register(mreg)
+		go func() {
+			// Wall-clock frame ticker: the daemon has no epoch barriers,
+			// so /stream gets one merged snapshot per second. Publish
+			// never blocks; slow subscribers lose frames, counted in
+			// obs_stream_dropped_frames_total.
+			for range time.Tick(time.Second) {
+				if stream.Active() {
+					stream.Publish(obs.MarshalFrame(mreg.Snapshot()))
+				}
+			}
+		}()
+		log.Printf("metrics listening on http://%s/metrics", mln.Addr())
+		go func() {
+			_ = http.Serve(mln, obs.NewHandler(obs.HandlerConfig{Source: mreg, Streamer: stream}))
+		}()
 	}
 
 	if o.statsEvery > 0 {

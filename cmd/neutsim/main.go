@@ -55,6 +55,7 @@
 //	neutsim -packets 50 -trace    # per-packet trace of the AT&T segment
 //	neutsim -hosts 10000 -duration 2s -seed 7   # metro-scale run
 //	neutsim -hosts 1000 -simworkers 2           # metro on 2 workers
+//	neutsim -hosts 1000 -metrics :0             # metro + /metrics, /stream, pprof
 //	neutsim -arms -flows 8 -duration 2s -seed 7 # arms race, 8 flows/class
 //	neutsim -audit -vantages 8 -trials 10 -seed 7 # neutrality audit
 //	neutsim -parscale -hosts 2000 -duration 500ms # E9 worker sweep
@@ -66,6 +67,8 @@ import (
 	"fmt"
 	"log"
 	mathrand "math/rand"
+	"net"
+	"net/http"
 	"net/netip"
 	"time"
 
@@ -78,6 +81,7 @@ import (
 	"netneutral/internal/eval"
 	"netneutral/internal/isp"
 	"netneutral/internal/netem"
+	"netneutral/internal/obs"
 	"netneutral/internal/shim"
 	"netneutral/internal/trafficgen"
 	"netneutral/internal/wire"
@@ -107,6 +111,8 @@ func main() {
 	vantages := flag.Int("vantages", 12, "audit: outside vantage points (inside reference vantages scale as 1/3)")
 	trials := flag.Int("trials", 12, "audit: paired measurement trials per vantage")
 	duration := flag.Duration("duration", 2*time.Second, "simulated traffic duration for the metro/arms scenarios")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /metrics.json, /stream, /flight.json and /debug/pprof on this address during the metro run (\":0\" picks a port; bound address is printed)")
+	metricsHold := flag.Duration("metricshold", 5*time.Second, "keep the -metrics server up this long after the run so scrapers can read the final state")
 	flag.Parse()
 
 	if *realproto {
@@ -126,8 +132,11 @@ func main() {
 		return
 	}
 	if *hosts > 0 {
-		runMetro(*hosts, *seed, *duration, *simWorkers)
+		runMetro(*hosts, *seed, *duration, *simWorkers, *metricsAddr, *metricsHold)
 		return
+	}
+	if *metricsAddr != "" {
+		log.Fatal("neutsim: -metrics requires the metro scenario (-hosts N)")
 	}
 
 	fmt.Println("== phase 1: plain addressing, ISP targets the customer ==")
@@ -212,10 +221,39 @@ func runArms(flowsPerClass int, seed int64, duration time.Duration) {
 }
 
 // runMetro drives the metro-scale fan-out scenario and narrates the
-// engine-level numbers.
-func runMetro(hosts int, seed int64, duration time.Duration, workers int) {
+// engine-level numbers. With metricsAddr set it mounts the full export
+// surface on the run's registry: a Recorder publishing a merged
+// snapshot at every epoch barrier (so mid-run scrapes are
+// barrier-consistent), an NDJSON streamer, a FlightRecorder, and pprof.
+func runMetro(hosts int, seed int64, duration time.Duration, workers int, metricsAddr string, hold time.Duration) {
 	fmt.Printf("== metro scale: %d customers behind one neutralizer domain, %d sim worker(s) ==\n", hosts, workers)
-	st, err := eval.RunMetro(eval.MetroConfig{Hosts: hosts, Seed: seed, Duration: duration, Workers: workers})
+	cfg := eval.MetroConfig{Hosts: hosts, Seed: seed, Duration: duration, Workers: workers}
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics listening on http://%s/metrics\n", ln.Addr())
+		cfg.Attach = func(sim *netem.Simulator) {
+			rec := obs.NewRecorder(sim.Metrics(), obs.RecorderConfig{
+				RingSize: 512, Interval: time.Millisecond,
+			})
+			rec.Register()
+			stream := obs.NewStreamer()
+			stream.Register(sim.Metrics())
+			rec.SetStreamer(stream)
+			sim.OnBarrier(func(now time.Time) { rec.Tick(now.UnixNano()) })
+			fr := obs.NewFlightRecorder(obs.FlightConfig{})
+			fr.Register(sim.Metrics())
+			sim.AttachFlightRecorder(fr)
+			go func() {
+				_ = http.Serve(ln, obs.NewHandler(obs.HandlerConfig{
+					Source: rec, Streamer: stream, Flight: fr,
+				}))
+			}()
+		}
+	}
+	st, err := eval.RunMetro(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -226,6 +264,10 @@ func runMetro(hosts int, seed int64, duration time.Duration, workers int) {
 	fmt.Printf("engine          %d sim events in %v wall: %.0f events/sec, %.0f fwd pps, %.0f delivered pps\n",
 		st.SimEvents, st.RunTime.Round(time.Millisecond), st.EventsPerSec, st.ForwardPps, st.DeliveredPps)
 	fmt.Printf("packet pool     %d buffers backed %d checkouts\n", st.PoolAllocated, st.PoolGets)
+	if metricsAddr != "" && hold > 0 {
+		fmt.Printf("metrics holding for %v (final state scrapeable)\n", hold)
+		time.Sleep(hold)
+	}
 }
 
 // runRealProto drives the E10 real-protocol scenario and narrates it;

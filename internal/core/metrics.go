@@ -1,0 +1,118 @@
+package core
+
+// Registry bridge for the data plane. The Pool's shard workers run
+// concurrently, so their counters follow the atomic-stripe discipline:
+// each worker owns one cache-line-padded AtomicCounter per family and
+// adds batch-granular deltas (one atomic add per batch, not per packet).
+// The Neutralizer's own Stats block is already atomic; it is exported
+// through CounterFuncs that snapshot it at read time.
+
+import (
+	"fmt"
+
+	"netneutral/internal/obs"
+)
+
+// poolMetrics is the per-worker counter block a Pool publishes into a
+// registry. It is installed with an atomic pointer so Instrument may be
+// called while workers are live.
+type poolMetrics struct {
+	pkts  []*obs.AtomicCounter
+	drops []*obs.AtomicCounter
+	hits  []*obs.AtomicCounter
+	miss  []*obs.AtomicCounter
+	// lastHits/lastMiss remember the cumulative per-scratch epoch-cache
+	// counts already published, so each batch adds only its delta. Owned
+	// by the worker of the same index.
+	lastHits []uint64
+	lastMiss []uint64
+}
+
+// Instrument registers the pool's per-worker counters and its merged
+// Neutralizer stats on reg:
+//
+//	core_worker_packets_total{worker="i"}      packets processed by shard i
+//	core_worker_drops_total{worker="i"}        packets shard i dropped
+//	core_crypto_epoch_hits_total{worker="i"}   epoch-cache hits of shard i
+//	core_crypto_epoch_misses_total{worker="i"} epoch-cache misses of shard i
+//
+// plus the RegisterStats families over the merged replica snapshot.
+// Safe to call while the pool is processing; counters start from the
+// next batch. Call it once per registry.
+func (p *Pool) Instrument(reg *obs.Registry) {
+	w := len(p.replicas)
+	m := &poolMetrics{
+		pkts:     make([]*obs.AtomicCounter, w),
+		drops:    make([]*obs.AtomicCounter, w),
+		hits:     make([]*obs.AtomicCounter, w),
+		miss:     make([]*obs.AtomicCounter, w),
+		lastHits: make([]uint64, w),
+		lastMiss: make([]uint64, w),
+	}
+	for i := 0; i < w; i++ {
+		m.pkts[i] = reg.Counter(fmt.Sprintf("core_worker_packets_total{worker=\"%d\"}", i),
+			"Packets processed by this pool shard worker.").AtomicStripe(0)
+		m.drops[i] = reg.Counter(fmt.Sprintf("core_worker_drops_total{worker=\"%d\"}", i),
+			"Packets this pool shard worker dropped (itemized in core_drops_total).").AtomicStripe(0)
+		m.hits[i] = reg.Counter(fmt.Sprintf("core_crypto_epoch_hits_total{worker=\"%d\"}", i),
+			"Session-key derivations served from this worker's lock-free epoch cache.").AtomicStripe(0)
+		m.miss[i] = reg.Counter(fmt.Sprintf("core_crypto_epoch_misses_total{worker=\"%d\"}", i),
+			"Session-key derivations that took the epoch-derivation slow path.").AtomicStripe(0)
+	}
+	p.met.Store(m)
+	RegisterStats(reg, p.Stats)
+}
+
+// flushWorkerMetrics publishes shard i's batch counters. Called from the
+// worker goroutine at the end of each batch, so the plain lastHits/
+// lastMiss slots have a single writer.
+func (m *poolMetrics) flushWorkerMetrics(i int, pkts, drops uint64, scr *Scratch) {
+	m.pkts[i].Add(pkts)
+	m.drops[i].Add(drops)
+	h, ms := scr.CryptoEpochStats()
+	m.hits[i].Add(h - m.lastHits[i])
+	m.miss[i].Add(ms - m.lastMiss[i])
+	m.lastHits[i], m.lastMiss[i] = h, ms
+}
+
+// RegisterStats exports a StatsSnapshot source (a single Neutralizer's
+// Stats().Snapshot, a Pool's merged Stats, or an anycast aggregate) as
+// counter families on reg. The source is invoked at snapshot time; it
+// must be safe to call concurrently with packet processing (the atomic
+// Stats block is).
+func RegisterStats(reg *obs.Registry, snap func() StatsSnapshot) {
+	type field struct {
+		name, help string
+		get        func(StatsSnapshot) uint64
+	}
+	fields := []field{
+		{"core_key_setups_total{mode=\"local\"}", "Key-setup responses produced locally.",
+			func(s StatsSnapshot) uint64 { return s.KeySetups }},
+		{"core_key_setups_total{mode=\"offload\"}", "Key-setups delegated to offload helpers.",
+			func(s StatsSnapshot) uint64 { return s.KeySetupsOffload }},
+		{"core_key_setups_total{mode=\"alt\"}", "Alternative-mode (RSA) setups.",
+			func(s StatsSnapshot) uint64 { return s.AltSetups }},
+		{"core_forwarded_packets_total{path=\"data\"}", "Forward-path data packets neutralized and forwarded.",
+			func(s StatsSnapshot) uint64 { return s.DataForwarded }},
+		{"core_forwarded_packets_total{path=\"return\"}", "Return-path data packets forwarded.",
+			func(s StatsSnapshot) uint64 { return s.ReturnForwarded }},
+		{"core_grants_stamped_total", "Fresh (nonce', Ks') grants issued on the return path.",
+			func(s StatsSnapshot) uint64 { return s.GrantsStamped }},
+		{"core_key_fetches_total", "Customer key fetches served (paper section 3.3).",
+			func(s StatsSnapshot) uint64 { return s.KeyFetches }},
+		{"core_drops_total{reason=\"stale_epoch\"}", "Packets dropped for an unacceptable crypto epoch.",
+			func(s StatsSnapshot) uint64 { return s.DropStaleEpoch }},
+		{"core_drops_total{reason=\"bad_addr_block\"}", "Packets dropped for an undecryptable address block.",
+			func(s StatsSnapshot) uint64 { return s.DropBadAddrBlock }},
+		{"core_drops_total{reason=\"not_customer\"}", "Packets dropped for a non-customer destination.",
+			func(s StatsSnapshot) uint64 { return s.DropNotCustomer }},
+		{"core_drops_total{reason=\"malformed\"}", "Packets dropped as malformed.",
+			func(s StatsSnapshot) uint64 { return s.DropMalformed }},
+		{"core_dyn_addrs_allocated_total", "Dynamic return addresses allocated.",
+			func(s StatsSnapshot) uint64 { return s.DynAddrsAllocated }},
+	}
+	for _, f := range fields {
+		get := f.get
+		reg.CounterFunc(f.name, f.help, func() uint64 { return get(snap()) })
+	}
+}

@@ -41,6 +41,14 @@ type Scratch struct {
 // retained, so steady-state processing performs no allocation.
 func NewScratch() *Scratch { return &Scratch{} }
 
+// CryptoEpochStats reports the epoch-cache hit/miss counts of session-key
+// derivations run through this scratch. Owner-only, like the scratch
+// itself: read it from the goroutine that processes with the scratch, or
+// at a quiescent point.
+func (s *Scratch) CryptoEpochStats() (hits, misses uint64) {
+	return s.kw.EpochCacheStats()
+}
+
 // Reset recycles every output buffer. Outgoing values returned by
 // ProcessScratch calls since the previous Reset become invalid.
 func (s *Scratch) Reset() {

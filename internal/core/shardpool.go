@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"netneutral/internal/wire"
 )
@@ -50,6 +51,10 @@ type Pool struct {
 	outs    []Outgoing
 	dropped uint64
 	closed  bool
+
+	// met is the registry counter block, published atomically so
+	// Instrument may race with live workers (nil = uninstrumented).
+	met atomic.Pointer[poolMetrics]
 }
 
 // NewPool builds the replicas and starts one worker goroutine per shard.
@@ -99,6 +104,9 @@ func (p *Pool) worker(i int) {
 			}
 		}
 		p.errs[i] = drops
+		if m := p.met.Load(); m != nil {
+			m.flushWorkerMetrics(i, uint64(len(p.idx[i])), uint64(drops), s)
+		}
 		p.wg.Done()
 	}
 }

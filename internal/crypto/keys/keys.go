@@ -68,7 +68,17 @@ type Schedule struct {
 
 	cache atomic.Pointer[map[Epoch]epochEntry]
 	mu    sync.Mutex // serializes cache writers only
+
+	// derives counts slow-path epoch derivations (cache misses that won
+	// the writer race). Updated only under mu; read freely.
+	derives atomic.Uint64
 }
+
+// Derivations reports how many epoch entries the schedule has derived on
+// the slow path — the cache-miss count from the derivation side. Together
+// with per-Work hit counters (see Work.EpochCacheStats) this quantifies
+// how hard the copy-on-write epoch cache is working.
+func (s *Schedule) Derivations() uint64 { return s.derives.Load() }
 
 // epochEntry caches everything derivable from one epoch's master key:
 // the key itself and its pre-expanded AES cipher, so the per-packet KDF
@@ -115,21 +125,29 @@ func (s *Schedule) EpochAt(t time.Time) Epoch {
 // MasterKey returns KM for the given epoch, derived from the root secret
 // (cached: a handful of epochs are ever live).
 func (s *Schedule) MasterKey(e Epoch) aesutil.Key {
-	return s.epoch(e).key
+	ent, _ := s.epoch(e)
+	return ent.key
 }
 
 // epoch returns the cached entry for e, deriving and publishing it on
-// first use. The read path is lock-free.
-func (s *Schedule) epoch(e Epoch) epochEntry {
+// first use, and reports whether the lock-free fast path hit.
+func (s *Schedule) epoch(e Epoch) (epochEntry, bool) {
 	if ent, ok := (*s.cache.Load())[e]; ok {
-		return ent
+		return ent, true
 	}
+	return s.deriveEpoch(e), false
+}
+
+// deriveEpoch is the slow path: derive KM for e under the writer lock
+// and publish a copy-on-write successor cache.
+func (s *Schedule) deriveEpoch(e Epoch) epochEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old := *s.cache.Load()
 	if ent, ok := old[e]; ok {
 		return ent
 	}
+	s.derives.Add(1)
 	var eb [4]byte
 	binary.BigEndian.PutUint32(eb[:], uint32(e))
 	k := aesutil.DeriveKey(s.root, []byte("netneutral-master-key"), eb[:])
@@ -161,6 +179,22 @@ type Work struct {
 	// frame is the length-prefixed encoding of (nonce, srcIP):
 	// len16(8) ‖ nonce ‖ len16(4) ‖ addr — 16 bytes, one AES block.
 	frame [16]byte
+
+	// epochHits / epochMisses count epoch-cache outcomes of derivations
+	// through this Work. Plain fields on single-writer state: the owner
+	// increments them for free on the hot path and copies them out at
+	// batch boundaries (see core.Pool's instrumentation); reading them
+	// concurrently with derivations is a data race by design.
+	epochHits   uint64
+	epochMisses uint64
+}
+
+// EpochCacheStats reports the epoch-cache hit/miss counts of derivations
+// run through this Work. Owner-only: call it from the goroutine that owns
+// the Work (or at a quiescent point), never concurrently with
+// SessionKeyInto.
+func (w *Work) EpochCacheStats() (hits, misses uint64) {
+	return w.epochHits, w.epochMisses
 }
 
 // SessionKey computes the paper's core derivation
@@ -187,7 +221,13 @@ func (s *Schedule) SessionKeyInto(w *Work, e Epoch, nonce Nonce, src netip.Addr)
 	copy(w.frame[2:10], nonce[:])
 	binary.BigEndian.PutUint16(w.frame[10:12], 4)
 	copy(w.frame[12:16], a4[:])
-	return s.epoch(e).blk.CBCMACScratch(&w.mac, w.frame[:]), nil
+	ent, hit := s.epoch(e)
+	if hit {
+		w.epochHits++
+	} else {
+		w.epochMisses++
+	}
+	return ent.blk.CBCMACScratch(&w.mac, w.frame[:]), nil
 }
 
 // SessionKeyAt is SessionKey with the epoch resolved from a timestamp.

@@ -1,0 +1,37 @@
+package dpi
+
+import (
+	"fmt"
+
+	"netneutral/internal/obs"
+)
+
+// Instrument exports the engine's per-class enforcement counters as
+// counter families on reg, one labeled family per (metric, class):
+//
+//	dpi_seen_packets_total{class=...}     packets observed after classification
+//	dpi_dropped_packets_total{class=...}  probabilistic enforcement drops
+//	dpi_policed_packets_total{class=...}  token-bucket drops
+//	dpi_exempted_packets_total{class=...} packets a stealth gate let pass
+//
+// The families read through the engine's existing mutex-guarded
+// accessors at snapshot time, so the per-packet hot path is untouched.
+// Classes cover ClassUnknown plus every real class.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	for c := Class(0); c <= NumClasses; c++ {
+		cls := c
+		label := fmt.Sprintf("{class=%q}", cls.String())
+		reg.CounterFunc("dpi_seen_packets_total"+label,
+			"Packets the enforcement engine observed for the class after classification.",
+			func() uint64 { return e.Seen(cls) })
+		reg.CounterFunc("dpi_dropped_packets_total"+label,
+			"Packets dropped by probabilistic per-class enforcement.",
+			func() uint64 { return e.Drops(cls) })
+		reg.CounterFunc("dpi_policed_packets_total"+label,
+			"Packets dropped by the per-class token-bucket policer.",
+			func() uint64 { return e.Policed(cls) })
+		reg.CounterFunc("dpi_exempted_packets_total"+label,
+			"Packets a stealth gate (flow age, duty phase, targeting) deliberately let pass.",
+			func() uint64 { return e.Exempted(cls) })
+	}
+}

@@ -1,0 +1,52 @@
+package dpi
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"netneutral/internal/obs"
+)
+
+// TestEngineInstrument pins the registry families against the engine's
+// own accessors across every class, after driving drops, exemptions and
+// passes through the hook.
+func TestEngineInstrument(t *testing.T) {
+	var p Policy
+	p[ClassUnknown] = ClassPolicy{DropProb: 0.5, MinFlowPkts: 10}
+	eng := NewEngine(EngineConfig{Policy: p, Rng: rand.New(rand.NewSource(4))})
+	reg := obs.NewRegistry()
+	eng.Instrument(reg)
+
+	hook := eng.Hook()
+	pkt := stealthPkt(t, netip.MustParseAddr("172.16.0.9"), netip.MustParseAddr("10.9.0.7"), 160)
+	base := time.Date(2006, 11, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 60; i++ {
+		hook(base.Add(time.Duration(i)*time.Millisecond), nil, pkt)
+	}
+
+	snap := reg.Snapshot()
+	for c := Class(0); c <= NumClasses; c++ {
+		checks := map[string]uint64{
+			"dpi_seen_packets_total{class=\"" + c.String() + "\"}":     eng.Seen(c),
+			"dpi_dropped_packets_total{class=\"" + c.String() + "\"}":  eng.Drops(c),
+			"dpi_policed_packets_total{class=\"" + c.String() + "\"}":  eng.Policed(c),
+			"dpi_exempted_packets_total{class=\"" + c.String() + "\"}": eng.Exempted(c),
+		}
+		for name, want := range checks {
+			m := snap.Get(name)
+			if m == nil {
+				t.Fatalf("registry missing %s", name)
+			}
+			if uint64(m.Value) != want {
+				t.Errorf("%s = %v, accessor says %d", name, m.Value, want)
+			}
+		}
+	}
+	// The workload must actually exercise all three outcomes for Unknown.
+	if eng.Seen(ClassUnknown) != 60 || eng.Exempted(ClassUnknown) == 0 || eng.Drops(ClassUnknown) == 0 {
+		t.Errorf("degenerate workload: seen=%d exempted=%d drops=%d",
+			eng.Seen(ClassUnknown), eng.Exempted(ClassUnknown), eng.Drops(ClassUnknown))
+	}
+}

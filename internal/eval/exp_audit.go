@@ -101,6 +101,12 @@ type AuditConfig struct {
 	// (default 1; the audit outcome — report wire bytes included — is
 	// bit-identical at every value).
 	Workers int
+	// Observe attaches the observability plane to every cell: the
+	// engine's Recorder + FlightRecorder, each prober's counter families
+	// (audit_probe_*_total) and the aggregate verdict tallies
+	// (audit_verdicts_total), with the observation digest recorded in
+	// AuditCell.Obs. Passive: report wire bytes stay bit-identical.
+	Observe bool
 }
 
 func (c *AuditConfig) fill() {
@@ -147,6 +153,9 @@ type AuditCell struct {
 	// SuspectGoodput/ControlGoodput are the outside vantages' median
 	// per-trial goodput ratios, averaged across vantages (display).
 	SuspectGoodput, ControlGoodput float64
+	// Obs is the cell's observation digest (nil unless
+	// AuditConfig.Observe).
+	Obs *ObsDigest
 }
 
 // AuditStats is the full E8 outcome.
@@ -236,6 +245,10 @@ func runAuditCell(cfg AuditConfig, kind AuditISP, mode ArmsMode, strat audit.Str
 	}
 	sim, f := env.Sim, env.Fan
 	sim.SetWorkers(cfg.Workers)
+	var o *observation
+	if cfg.Observe {
+		o = attachObservation(sim)
+	}
 	if mode != ModePlaintext {
 		if err := env.attachNeutralizer(); err != nil {
 			return nil, err
@@ -342,6 +355,9 @@ func runAuditCell(cfg AuditConfig, kind AuditISP, mode ArmsMode, strat audit.Str
 		if err != nil {
 			return nil, err
 		}
+		if o != nil {
+			p.Instrument(sim.Metrics(), v)
+		}
 		probers = append(probers, p)
 		for role := 0; role < 2; role++ {
 			prober := p
@@ -384,6 +400,9 @@ func runAuditCell(cfg AuditConfig, kind AuditISP, mode ArmsMode, strat audit.Str
 		if err != nil {
 			return nil, err
 		}
+		if o != nil {
+			p.Instrument(sim.Metrics(), V+i)
+		}
 		probers = append(probers, p)
 		for role := 0; role < 2; role++ {
 			prober := p
@@ -421,6 +440,16 @@ func runAuditCell(cfg AuditConfig, kind AuditISP, mode ArmsMode, strat audit.Str
 	for vi := 0; vi < V; vi++ {
 		cell.SuspectGoodput += cell.Summary.Verdicts[vi].SuspectGoodput / float64(V)
 		cell.ControlGoodput += cell.Summary.Verdicts[vi].ControlGoodput / float64(V)
+	}
+	if o != nil {
+		// Tally the aggregator's rulings before digesting so FinalHash
+		// covers the audit_verdicts_total families too.
+		vm := audit.NewVerdictMetrics(sim.Metrics())
+		for _, v := range cell.Summary.Verdicts {
+			vm.Count(v)
+		}
+		d := o.digest()
+		cell.Obs = &d
 	}
 	return cell, nil
 }

@@ -49,6 +49,18 @@ type MetroConfig struct {
 	// Workers is how many threads execute the sharded engine
 	// (default 1; results are identical at any value).
 	Workers int
+	// Observe attaches the full observability plane — an epoch-barrier
+	// Recorder and a packet FlightRecorder on the sim's registry — and
+	// fills MetroStats.Obs with the observation digest. Observation is
+	// passive: every deterministic outcome, including the digest itself,
+	// stays bit-identical at any worker count.
+	Observe bool
+	// Attach, if set, runs against the built simulator before any
+	// traffic is scheduled. neutsim's -metrics flag uses it to mount a
+	// publishing Recorder, FlightRecorder and HTTP exporters on the
+	// run's own registry. Attached observers must follow the OnBarrier
+	// contract (never mutate sim state).
+	Attach func(*netem.Simulator)
 }
 
 func (c *MetroConfig) fill() {
@@ -87,6 +99,8 @@ type MetroStats struct {
 	DeliveredPps   float64       // Delivered / RunTime
 	PoolAllocated  uint64
 	PoolGets       uint64
+	// Obs is the observation digest (nil unless MetroConfig.Observe).
+	Obs *ObsDigest
 }
 
 // metroWorld is the shared substrate of RunMetro and MetroBench: the
@@ -194,6 +208,13 @@ func RunMetro(cfg MetroConfig) (*MetroStats, error) {
 		return nil, err
 	}
 	sim, f := w.sim, w.fan
+	var o *observation
+	if cfg.Observe {
+		o = attachObservation(sim)
+	}
+	if cfg.Attach != nil {
+		cfg.Attach(sim)
+	}
 
 	// The discriminatory transit tries to target one customer by
 	// address; neutralized traffic never names it. The policy runs at
@@ -225,6 +246,10 @@ func RunMetro(cfg MetroConfig) (*MetroStats, error) {
 	st.ClassifierHits = policy.Hits("target-customer")
 	st.SimEvents = sim.EventsProcessed()
 	st.PoolAllocated, st.PoolGets = sim.PoolStats()
+	if o != nil {
+		d := o.digest()
+		st.Obs = &d
+	}
 	if sec := st.RunTime.Seconds(); sec > 0 {
 		st.EventsPerSec = float64(st.SimEvents) / sec
 		st.ForwardPps = float64(st.Forwarded) / sec
@@ -317,6 +342,21 @@ func (m *MetroBench) RunBurst() error {
 // Counters exposes the engine counters the benchmark reports.
 func (m *MetroBench) Counters() (events, forwarded uint64) {
 	return m.sim.EventsProcessed(), m.sim.Forwarded()
+}
+
+// NewMetroBenchObserved is NewMetroBench with the full observation plane
+// attached — the epoch Recorder sampling every family at each barrier
+// plus the sampling FlightRecorder on the trace path — so
+// BenchmarkNetemMetroObs prices recording against the unobserved
+// BenchmarkNetemMetro run on the identical workload (the
+// obs_overhead_pct check in scripts/benchjson).
+func NewMetroBenchObserved(hosts, burst int) (*MetroBench, error) {
+	m, err := NewMetroBench(hosts, burst)
+	if err != nil {
+		return nil, err
+	}
+	attachObservation(m.sim)
+	return m, nil
 }
 
 // AttachNeutralizerScratch wires a core.Neutralizer into a netem node on

@@ -1,0 +1,154 @@
+package eval
+
+// Observation wiring shared by the experiments. E6/E9 (metro) and E8
+// (audit) can run with the full observability plane attached — an
+// obs.Recorder ticking at every epoch barrier and an obs.FlightRecorder
+// head-sampling packet events — and fold what was observed into the
+// run's deterministic identity. ObsDigest condenses the recorded state
+// (time-series rings, sampled-event set, final registry snapshot) into
+// a few comparable words, so the worker-identity checks can assert
+// "observation itself replays bit-identically" without hauling the
+// rings around.
+
+import (
+	"encoding/binary"
+	"math"
+	"time"
+
+	"netneutral/internal/netem"
+	"netneutral/internal/obs"
+)
+
+// observation is one run's attached observability plane: the
+// epoch-barrier recorder and the packet flight recorder, both living on
+// the simulator's own registry.
+type observation struct {
+	rec *obs.Recorder
+	fr  *obs.FlightRecorder
+}
+
+// attachObservation puts the full observability plane on sim before a
+// run. The recorder samples every non-volatile family at epoch barriers
+// (interval-gated on virtual time); the flight recorder samples 1-in-64
+// packet events per shard stripe. Both are pure observers: attaching
+// them must not change any run outcome, and what they record is itself
+// bit-identical at every worker count.
+func attachObservation(sim *netem.Simulator) *observation {
+	rec := obs.NewRecorder(sim.Metrics(), obs.RecorderConfig{
+		RingSize: 512, Interval: time.Millisecond,
+	})
+	rec.Register()
+	sim.OnBarrier(func(now time.Time) { rec.Tick(now.UnixNano()) })
+	fr := obs.NewFlightRecorder(obs.FlightConfig{SampleEvery: 64, RingSize: 4096})
+	fr.Register(sim.Metrics())
+	sim.AttachFlightRecorder(fr)
+	return &observation{rec: rec, fr: fr}
+}
+
+// ObsDigest condenses what a run's observers recorded. Two observed
+// runs of the same seed must produce equal digests at any worker count;
+// E9 folds the digest into its identity key and the worker-identity
+// tests compare digests directly.
+type ObsDigest struct {
+	// RecorderTicks counts barrier samples taken.
+	RecorderTicks uint64
+	// SeriesPoints totals retained ring points across all series.
+	SeriesPoints uint64
+	// RingsHash fingerprints every series name and (time, value) point.
+	RingsHash uint64
+	// FlightSeen and FlightSampled count packet events offered to and
+	// retained by the flight recorder.
+	FlightSeen, FlightSampled uint64
+	// FlightHash fingerprints the merged sampled-event set in the
+	// engine's canonical (time, shard, seq) order.
+	FlightHash uint64
+	// FinalHash fingerprints the final non-volatile registry snapshot:
+	// every family name and merged value the run ended with.
+	FinalHash uint64
+}
+
+// digest reduces the observation to its digest. Call at quiescence
+// (after the run; for E8, after verdicts are counted, so the verdict
+// families are covered by FinalHash).
+func (o *observation) digest() ObsDigest {
+	d := ObsDigest{
+		RecorderTicks: o.rec.Ticks(),
+		FlightSeen:    o.fr.Seen(),
+	}
+
+	h := newFNV()
+	for _, s := range o.rec.Series() {
+		h.str(s.Name)
+		times, vals := s.Points()
+		d.SeriesPoints += uint64(len(times))
+		for i := range times {
+			h.u64(uint64(times[i]))
+			h.u64(math.Float64bits(vals[i]))
+		}
+	}
+	d.RingsHash = h.sum()
+
+	h = newFNV()
+	evs := o.fr.Events()
+	d.FlightSampled = uint64(len(evs))
+	for _, e := range evs {
+		h.u64(uint64(e.TimeNanos))
+		h.u64(e.Flow)
+		h.u64(e.Seq)
+		h.u64(uint64(uint32(e.Node))<<32 | uint64(uint32(e.Shard)))
+		h.u64(uint64(uint32(e.Size))<<8 | uint64(e.Kind))
+	}
+	d.FlightHash = h.sum()
+
+	h = newFNV()
+	for _, m := range o.rec.Registry().Snapshot().Metrics {
+		if m.Volatile {
+			continue // wall-clock families legitimately differ per run
+		}
+		h.str(m.Name)
+		if m.Hist != nil {
+			h.u64(m.Hist.Count)
+			h.u64(m.Hist.Sum)
+			continue
+		}
+		h.u64(math.Float64bits(m.Value))
+	}
+	d.FinalHash = h.sum()
+	return d
+}
+
+// key flattens the digest for identity-key comparison.
+func (d *ObsDigest) key() [4]uint64 {
+	if d == nil {
+		return [4]uint64{}
+	}
+	return [4]uint64{d.RecorderTicks, d.RingsHash, d.FlightHash, d.FinalHash}
+}
+
+// fnv64 is a tiny FNV-1a accumulator behind the digest fingerprints.
+type fnv64 uint64
+
+func newFNV() *fnv64 { h := fnv64(14695981039346656037); return &h }
+
+func (h *fnv64) bytes(b []byte) {
+	const prime = 1099511628211
+	v := uint64(*h)
+	for _, c := range b {
+		v = (v ^ uint64(c)) * prime
+	}
+	*h = fnv64(v)
+}
+
+// str hashes s with a terminator so adjacent fields cannot alias.
+func (h *fnv64) str(s string) {
+	h.bytes([]byte(s))
+	h.bytes([]byte{0})
+}
+
+func (h *fnv64) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	h.bytes(b[:])
+}
+
+func (h *fnv64) sum() uint64 { return uint64(*h) }

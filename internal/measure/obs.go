@@ -1,0 +1,23 @@
+package measure
+
+import "netneutral/internal/obs"
+
+// Export publishes the histogram's retained samples as a fresh stripe of
+// the named log-bucketed histogram family on reg, making its p50/p95/p99
+// summaries available to every exporter (Prometheus text, JSON snapshots,
+// NDJSON streams).
+//
+// Samples are recorded in nanoseconds through the registry's log-bucket
+// transform, so exported quantiles carry its bounded relative error
+// (≤12.5%) on top of any reservoir sampling the histogram already did;
+// the stripe's count and sum reflect the retained reservoir, not the
+// total Add count (Count() has that). Export is a one-shot dump of
+// end-of-run state — call it once per histogram, after measurement
+// completes; repeated exports of the same histogram into the same family
+// double-count.
+func (h *Histogram) Export(reg *obs.Registry, name, help string) {
+	st := reg.Histogram(name, help).NewStripe()
+	for _, d := range h.samples {
+		st.Observe(int64(d))
+	}
+}

@@ -1,0 +1,40 @@
+package measure
+
+import (
+	"testing"
+	"time"
+
+	"netneutral/internal/obs"
+)
+
+// TestHistogramExport pins the registry bridge: exported quantiles match
+// the histogram's own within the log-bucket relative error bound.
+func TestHistogramExport(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Add(time.Duration(i) * time.Microsecond)
+	}
+	reg := obs.NewRegistry()
+	h.Export(reg, "e2e_delay_ns", "End-to-end delivery delay.")
+
+	m := reg.Snapshot().Get("e2e_delay_ns")
+	if m == nil || m.Hist == nil {
+		t.Fatalf("registry missing histogram family: %+v", m)
+	}
+	if m.Hist.Count != uint64(h.Count()) {
+		t.Errorf("exported count %d, histogram retained %d", m.Hist.Count, h.Count())
+	}
+	for _, q := range []struct {
+		got  float64
+		want time.Duration
+	}{
+		{m.Hist.P50, h.Quantile(0.50)},
+		{m.Hist.P95, h.Quantile(0.95)},
+		{m.Hist.P99, h.Quantile(0.99)},
+	} {
+		lo, hi := float64(q.want)*0.85, float64(q.want)*1.15
+		if q.got < lo || q.got > hi {
+			t.Errorf("exported quantile %v outside 15%% of exact %v", q.got, q.want)
+		}
+	}
+}

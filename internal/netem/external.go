@@ -35,7 +35,7 @@ func (s *Simulator) Step() bool {
 	}
 	ev := sh.events.pop()
 	sh.now = ev.at
-	sh.eventsRun++
+	sh.mEvents.Inc()
 	sh.dispatchEvent(&ev)
 	if s.committed.Before(sh.now) {
 		s.committed = sh.now

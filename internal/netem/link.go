@@ -151,6 +151,7 @@ func (l *Link) SetQueue(from *Node, q Queue) error {
 		}
 		if !q.Enqueue(p) {
 			d.dropped++
+			d.from.sh.mLinkQDrop.Inc()
 			d.from.sh.emit(TraceDropQueue, from, p.Pkt)
 			p.Release()
 		}
@@ -159,7 +160,10 @@ func (l *Link) SetQueue(from *Node, q Queue) error {
 }
 
 // Stats reports packets sent and dropped in the direction from the given
-// node.
+// node. Per-link counts stay on the linkDir (registering a metric family
+// per link would explode cardinality on metro topologies); the registry
+// carries the per-shard aggregates (netem_link_tx_packets_total,
+// netem_link_queue_drops_total), incremented at the same sites.
 func (l *Link) Stats(from *Node) (sent, dropped uint64) {
 	d := l.dir(from)
 	if d == nil {
@@ -204,6 +208,7 @@ func (l *Link) transmit(from *Node, p *Packet) {
 	p.Arrived = sh.now
 	if !d.queue.Enqueue(p) {
 		d.dropped++
+		sh.mLinkQDrop.Inc()
 		sh.emit(TraceDropQueue, from, p.Pkt)
 		p.Release()
 		return
@@ -238,6 +243,7 @@ func (d *linkDir) startTransmission() {
 // makes deferring it to the epoch barrier safe.
 func (d *linkDir) depart(p *Packet) {
 	d.sent++
+	d.from.sh.mLinkTx.Inc()
 	src, dst := d.from.sh, d.to.sh
 	at := src.now.Add(d.cfg.Delay)
 	ev := event{kind: evArrive, node: d.to, pkt: p}

@@ -42,6 +42,7 @@ import (
 	"net/netip"
 	"time"
 
+	"netneutral/internal/obs"
 	"netneutral/internal/wire"
 )
 
@@ -152,6 +153,10 @@ type Simulator struct {
 	anycast  map[netip.Addr][]*Node
 	traces   []TraceHook
 
+	met       *simMetrics
+	flight    *obs.FlightRecorder
+	onBarrier []func(now time.Time)
+
 	dijkstra dijkstraScratch
 }
 
@@ -166,6 +171,7 @@ func NewSimulator(start time.Time, seed int64) *Simulator {
 		nodes:     make(map[string]*Node),
 		byAddr:    make(map[netip.Addr]*Node),
 		anycast:   make(map[netip.Addr][]*Node),
+		met:       newSimMetrics(),
 	}
 	s.shards = []*shard{newShard(s, 0, start)}
 	return s
@@ -191,44 +197,31 @@ func (s *Simulator) Rand() *rand.Rand { return s.shards[0].rng }
 // each epoch barrier in globally merged (time, shard, seq) order — the
 // same total order at every worker count — and observe copied packet
 // bytes; on single-shard runs they fire live, as always.
+//
+// Determinism contract: hooks are observers. They must not mutate sim
+// state — no scheduling, no sends, no touching node or shard fields —
+// and must not retain Pkt past the call. A hook that feeds state back
+// into the simulation breaks the bit-identical replay guarantee in ways
+// no test will catch locally. Note also that every registered hook
+// forces sharded runs to buffer (and copy the bytes of) every packet
+// event between barriers; for bounded, sampled observation that stays
+// cheap at metro scale, attach an obs.FlightRecorder
+// (AttachFlightRecorder) instead.
 func (s *Simulator) Trace(h TraceHook) { s.traces = append(s.traces, h) }
 
-// Delivered reports packets locally delivered anywhere in the network.
-func (s *Simulator) Delivered() uint64 {
-	var n uint64
-	for _, sh := range s.shards {
-		n += sh.delivered
-	}
-	return n
-}
+// Delivered reports packets locally delivered anywhere in the network
+// (a thin read over the netem_delivered_packets_total family).
+func (s *Simulator) Delivered() uint64 { return s.met.delivered.Value() }
 
 // Forwarded reports router forwarding decisions (one per transit hop).
-func (s *Simulator) Forwarded() uint64 {
-	var n uint64
-	for _, sh := range s.shards {
-		n += sh.forwarded
-	}
-	return n
-}
+func (s *Simulator) Forwarded() uint64 { return s.met.forwarded.Value() }
 
 // Dropped reports the number of packets dropped anywhere in the network.
-func (s *Simulator) Dropped() uint64 {
-	var n uint64
-	for _, sh := range s.shards {
-		n += sh.dropped
-	}
-	return n
-}
+func (s *Simulator) Dropped() uint64 { return s.met.dropped.Value() }
 
 // EventsProcessed reports how many events the loop has run; with wall
 // time it yields the sim-events/sec figure the scale experiments report.
-func (s *Simulator) EventsProcessed() uint64 {
-	var n uint64
-	for _, sh := range s.shards {
-		n += sh.eventsRun
-	}
-	return n
-}
+func (s *Simulator) EventsProcessed() uint64 { return s.met.events.Value() }
 
 // Schedule runs fn after d of virtual time on shard 0 (the whole
 // simulator when unsharded). Sources on sharded topologies schedule via

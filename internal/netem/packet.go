@@ -3,6 +3,8 @@ package netem
 import (
 	"fmt"
 	"time"
+
+	"netneutral/internal/obs"
 )
 
 // Packet is a pooled, refcounted packet buffer. One Packet travels the
@@ -88,22 +90,24 @@ type packetPool struct {
 	homebound [][]*Packet
 	debug     bool
 
-	allocated uint64 // buffers ever created
-	gets      uint64 // checkouts (hits + misses)
+	// Registry stripes (netem_pool_* families), owned by this pool's
+	// shard; set by simMetrics.attachShard before any checkout.
+	allocated *obs.Counter // buffers ever created
+	gets      *obs.Counter // checkouts (hits + misses)
 }
 
 const poisonByte = 0xDD
 
 // get returns a packet with an n-byte Pkt window, contents undefined.
 func (pp *packetPool) get(n int) *Packet {
-	pp.gets++
+	pp.gets.Inc()
 	var p *Packet
 	if k := len(pp.free); k > 0 {
 		p = pp.free[k-1]
 		pp.free = pp.free[:k-1]
 		p.pool = pp // may still point at the shard of its last journey
 	} else {
-		pp.allocated++
+		pp.allocated.Inc()
 		p = &Packet{pool: pp, home: pp}
 	}
 	if cap(p.buf) < n {
@@ -163,12 +167,9 @@ func (s *Simulator) NewPacket(b []byte) *Packet {
 }
 
 // PoolStats reports how many packet buffers were ever allocated versus
-// checked out across all shard pools; a steady-state run re-checks out
-// the same few buffers.
+// checked out across all shard pools (a thin read over the
+// netem_pool_* registry families); a steady-state run re-checks out the
+// same few buffers.
 func (s *Simulator) PoolStats() (allocated, gets uint64) {
-	for _, sh := range s.shards {
-		allocated += sh.pool.allocated
-		gets += sh.pool.gets
-	}
-	return allocated, gets
+	return s.met.poolAlloc.Value(), s.met.poolGets.Value()
 }

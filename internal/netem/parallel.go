@@ -59,6 +59,11 @@ func (s *Simulator) refreshPlan() {
 			}
 		}
 	}
+	la := int64(s.lookahead)
+	if s.lookahead == noLookahead {
+		la = 0
+	}
+	s.met.lookahead.Set(la)
 }
 
 // runLimit is the engine behind Run/RunUntil: hasLimit bounds execution
@@ -75,7 +80,7 @@ func (s *Simulator) runLimit(limit time.Time, hasLimit bool) {
 			}
 			ev := sh.events.pop()
 			sh.now = ev.at
-			sh.eventsRun++
+			sh.mEvents.Inc()
 			sh.dispatchEvent(&ev)
 		}
 		if hasLimit && sh.now.Before(limit) {
@@ -86,6 +91,9 @@ func (s *Simulator) runLimit(limit time.Time, hasLimit bool) {
 		if s.committed.Before(sh.now) {
 			s.committed = sh.now
 		}
+		// Serial runs have no epoch barriers; the end of a Run/RunUntil
+		// call is the quiescent point observers sample at.
+		s.barrierTick(sh.now)
 		return
 	}
 	s.runEpochs(limit, hasLimit)
@@ -111,6 +119,7 @@ func (s *Simulator) runEpochs(limit time.Time, hasLimit bool) {
 		if !ok || (hasLimit && next.After(limit)) {
 			break
 		}
+		epochStart := time.Now()
 		if s.committed.Before(next) {
 			s.committed = next
 		}
@@ -137,6 +146,12 @@ func (s *Simulator) runEpochs(limit time.Time, hasLimit bool) {
 			s.parallelPhase(workers, phaseMerge, time.Time{})
 		}
 		s.flushTraces()
+		s.met.epochs.Inc()
+		s.met.epochWall.ObserveDuration(time.Since(epochStart))
+		// Observation piggybacks on the barrier that already exists:
+		// committed (the window start) is the deterministic virtual
+		// timestamp of this epoch.
+		s.barrierTick(s.committed)
 	}
 	if hasLimit {
 		for _, sh := range s.shards {
@@ -154,6 +169,9 @@ func (s *Simulator) runEpochs(limit time.Time, hasLimit bool) {
 			}
 		}
 	}
+	// Final tick at the post-run clock so observers sample the end state
+	// even when the tail epoch was interval-gated away.
+	s.barrierTick(s.committed)
 }
 
 func maxTime() time.Time { return time.Unix(1<<62, 0) }
@@ -218,7 +236,7 @@ func (sh *shard) runWindow(end time.Time) {
 	for sh.events.len() > 0 && sh.events.h[0].at.Before(end) {
 		ev := sh.events.pop()
 		sh.now = ev.at
-		sh.eventsRun++
+		sh.mEvents.Inc()
 		sh.dispatchEvent(&ev)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"netneutral/internal/obs"
 )
 
 // The parallel engine partitions a Simulator into shards: each shard
@@ -37,10 +39,19 @@ type shard struct {
 	// mergeBuf is scratch for the deterministic incoming merge.
 	mergeBuf []remoteEvent
 
-	eventsRun uint64
-	delivered uint64
-	forwarded uint64
-	dropped   uint64
+	// Write stripes of the simulator's metric registry (see metrics.go):
+	// per-shard, cache-line padded, plain increments — the shard is the
+	// single writer, merged only at read time.
+	mEvents    *obs.Counter
+	mDelivered *obs.Counter
+	mForwarded *obs.Counter
+	mDropped   *obs.Counter
+	mLinkTx    *obs.Counter
+	mLinkQDrop *obs.Counter
+	gHeap      *obs.Gauge
+	gPoolFree  *obs.Gauge
+	// flight is the shard's flight-recorder stripe, nil unless attached.
+	flight *obs.FlightStripe
 
 	// Trace events are buffered per shard during a parallel run and
 	// merged into global (time, shard, seq) order at each barrier; the
@@ -102,6 +113,10 @@ func newShard(s *Simulator, id int, now time.Time) *shard {
 		rng: rand.New(rand.NewSource(shardSeed(s.seed, id)))}
 	sh.pool.shard = id
 	sh.pool.debug = s.poolDebug
+	s.met.attachShard(sh)
+	if s.flight != nil {
+		sh.flight = s.flight.Stripe(id)
+	}
 	return sh
 }
 
@@ -227,11 +242,26 @@ func (sh *shard) sendRemote(dst *shard, at time.Time, ev event) {
 func (sh *shard) emit(kind TraceKind, node *Node, pkt []byte) {
 	switch {
 	case kind == TraceDeliver:
-		sh.delivered++
+		sh.mDelivered.Inc()
 	case kind == TraceForward:
-		sh.forwarded++
+		sh.mForwarded.Inc()
 	case kind >= TraceDropQueue:
-		sh.dropped++
+		sh.mDropped.Inc()
+	}
+	// Flight recorder: deterministic head sampling on the shard's own
+	// event sequence; the flow hash is only computed when the event is
+	// sampled or flow tags could match it.
+	if st := sh.flight; st != nil {
+		take := st.Sample()
+		if take || st.Tagged() {
+			flow := FlowHash(pkt)
+			if take || st.TaggedFlow(flow) {
+				st.Record(obs.TraceRec{
+					TimeNanos: sh.now.UnixNano(), Flow: flow,
+					Node: int32(node.id), Size: int32(len(pkt)), Kind: uint8(kind),
+				})
+			}
+		}
 	}
 	s := sh.sim
 	if len(s.traces) == 0 {

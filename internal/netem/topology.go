@@ -1,6 +1,8 @@
 package netem
 
 import (
+	"netneutral/internal/obs"
+
 	"fmt"
 	"net/netip"
 	"time"
@@ -193,23 +195,19 @@ func BuildFanout(sim *Simulator, spec FanoutSpec) (*Fanout, error) {
 	return f, nil
 }
 
-// DeliveryCount tallies customer-host deliveries. Counts are kept per
-// shard (cache-line padded) so hosts on different shards never write the
-// same word during a parallel run.
+// DeliveryCount tallies customer-host deliveries. Counts live on the
+// simulator's metric registry (family netem_fanout_delivered_packets_total)
+// as one cache-line-padded stripe per shard, so hosts on different
+// shards never write the same word during a parallel run.
 type DeliveryCount struct {
-	counts []paddedCount
-}
-
-type paddedCount struct {
-	n uint64
-	_ [56]byte // keep neighboring shard counters off one cache line
+	counts []*obs.Counter
 }
 
 // Total sums the per-shard tallies; call it after (or between) runs.
 func (d *DeliveryCount) Total() uint64 {
 	var t uint64
-	for i := range d.counts {
-		t += d.counts[i].n
+	for _, c := range d.counts {
+		t += c.Value()
 	}
 	return t
 }
@@ -218,15 +216,21 @@ func (d *DeliveryCount) Total() uint64 {
 // every customer host and returns the tally: the standard measure wiring
 // for scale experiments, where per-host closures would cost N
 // allocations — and where one shared counter would be a data race across
-// shards.
+// shards. Each call appends fresh registry stripes, so Total counts only
+// this tally's deliveries even if the family is shared.
 func (f *Fanout) CountDeliveries() *DeliveryCount {
-	d := &DeliveryCount{counts: make([]paddedCount, f.Sim.ShardCount())}
+	vec := f.Sim.Metrics().Counter("netem_fanout_delivered_packets_total",
+		"Customer-host deliveries counted by Fanout.CountDeliveries.")
+	d := &DeliveryCount{counts: make([]*obs.Counter, f.Sim.ShardCount())}
+	for i := range d.counts {
+		d.counts[i] = vec.NewStripe()
+	}
 	handlers := make([]Handler, f.Sim.ShardCount())
 	for _, host := range f.Hosts {
 		id := host.ShardID()
 		if handlers[id] == nil {
-			c := &d.counts[id]
-			handlers[id] = func(time.Time, []byte) { c.n++ }
+			c := d.counts[id]
+			handlers[id] = func(time.Time, []byte) { c.Inc() }
 		}
 		host.SetHandler(handlers[id])
 	}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// FlightRecorder is the bounded replacement for firehose trace hooks: a
+// ring of sampled packet events per shard stripe, cheap enough to leave
+// on at metro scale. Sampling is deterministic head sampling — every
+// Nth event a stripe sees, decided by a per-stripe counter, never by a
+// PRNG — plus per-flow tagging: events of a tagged flow are always
+// recorded. Because stripes are per shard and the sampling decision is
+// a pure function of the shard's own event sequence, the recorded set
+// is bit-identical at every worker count; the merged view re-sorts by
+// (time, shard, seq), the same total order the netem engine uses for
+// trace hooks.
+type FlightRecorder struct {
+	sampleEvery uint64
+	ringSize    int
+
+	mu      sync.Mutex
+	stripes []*FlightStripe
+	tags    map[uint64]struct{}
+	tagged  bool
+}
+
+// FlightConfig sizes a FlightRecorder.
+type FlightConfig struct {
+	// SampleEvery records one of every N events per stripe (default 64;
+	// 1 records everything).
+	SampleEvery int
+	// RingSize bounds each stripe's ring in events (default 4096); old
+	// events are evicted, counted, never blocking.
+	RingSize int
+}
+
+// TraceRec is one sampled packet event.
+type TraceRec struct {
+	// TimeNanos is the virtual time of the event.
+	TimeNanos int64 `json:"ts"`
+	// Flow is the keyed flow hash (netem computes it from the canonical
+	// FlowKey); 0 if the packet had no parseable flow.
+	Flow uint64 `json:"flow"`
+	// Seq is the stripe-local emission sequence (merge tiebreaker).
+	Seq uint64 `json:"seq"`
+	// Node is the stable node id where the event fired.
+	Node int32 `json:"node"`
+	// Shard is the stripe (netem shard) that recorded the event.
+	Shard int32 `json:"shard"`
+	// Size is the packet length in bytes.
+	Size int32 `json:"size"`
+	// Kind is the trace kind (netem.TraceKind numbering).
+	Kind uint8 `json:"kind"`
+}
+
+// NewFlightRecorder creates a flight recorder.
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder {
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 64
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 4096
+	}
+	return &FlightRecorder{
+		sampleEvery: uint64(cfg.SampleEvery),
+		ringSize:    cfg.RingSize,
+		tags:        make(map[uint64]struct{}),
+	}
+}
+
+// Tag marks a flow hash as always-recorded. Call during setup, before
+// the run: the tag set is read lock-free from every stripe.
+func (f *FlightRecorder) Tag(flow uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tags[flow] = struct{}{}
+	f.tagged = true
+	for _, st := range f.stripes {
+		st.tagged = true
+	}
+}
+
+// Stripe returns (creating as needed) the write stripe for shard i.
+// Stripe pointers remain valid forever.
+func (f *FlightRecorder) Stripe(i int) *FlightStripe {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.stripes) <= i {
+		f.stripes = append(f.stripes, &FlightStripe{
+			fr:     f,
+			shard:  int32(len(f.stripes)),
+			ring:   make([]TraceRec, 0, f.ringSize),
+			tagged: f.tagged,
+		})
+	}
+	return f.stripes[i]
+}
+
+// FlightStripe is one shard's ring. Single-writer, like a Counter
+// stripe: only the owning shard records into it during a run.
+type FlightStripe struct {
+	fr     *FlightRecorder
+	shard  int32
+	tagged bool
+
+	ring    []TraceRec
+	w       int // next write slot once the ring is full
+	seen    uint64
+	sampled uint64
+	evicted uint64
+	seq     uint64
+}
+
+// Sample counts one event and reports whether head sampling selects it.
+// The decision depends only on the stripe's own event count — replay-
+// stable at any worker count.
+func (st *FlightStripe) Sample() bool {
+	st.seen++
+	return st.fr.sampleEvery == 1 || st.seen%st.fr.sampleEvery == 1
+}
+
+// Tagged reports whether any flow tags exist (a cheap pre-check so the
+// caller can skip flow hashing when the event is unsampled and no tags
+// are registered).
+func (st *FlightStripe) Tagged() bool { return st.tagged }
+
+// TaggedFlow reports whether the given flow hash is tagged.
+func (st *FlightStripe) TaggedFlow(flow uint64) bool {
+	if !st.tagged {
+		return false
+	}
+	_, ok := st.fr.tags[flow]
+	return ok
+}
+
+// Record appends rec to the ring, evicting the oldest event when full.
+// The stripe stamps Shard and Seq itself.
+func (st *FlightStripe) Record(rec TraceRec) {
+	st.seq++
+	st.sampled++
+	rec.Shard = st.shard
+	rec.Seq = st.seq
+	if len(st.ring) < cap(st.ring) {
+		st.ring = append(st.ring, rec)
+		return
+	}
+	st.ring[st.w] = rec
+	st.w = (st.w + 1) % len(st.ring)
+	st.evicted++
+}
+
+// Reset clears the stripe's ring and counters (between experiment runs).
+func (st *FlightStripe) Reset() {
+	st.ring = st.ring[:0]
+	st.w = 0
+	st.seen, st.sampled, st.evicted, st.seq = 0, 0, 0, 0
+}
+
+// Events returns every retained event across stripes, merged into the
+// engine's canonical (time, shard, seq) total order — independent of
+// worker count. Call at quiescence (post-run or an epoch barrier).
+func (f *FlightRecorder) Events() []TraceRec {
+	f.mu.Lock()
+	stripes := make([]*FlightStripe, len(f.stripes))
+	copy(stripes, f.stripes)
+	f.mu.Unlock()
+	var out []TraceRec
+	for _, st := range stripes {
+		out = append(out, st.ring...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.TimeNanos != b.TimeNanos {
+			return a.TimeNanos < b.TimeNanos
+		}
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// Reset clears every stripe (between runs sharing a recorder).
+func (f *FlightRecorder) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, st := range f.stripes {
+		st.Reset()
+	}
+}
+
+// Seen totals events offered across stripes (atomic loads; exact at
+// quiescence).
+func (f *FlightRecorder) Seen() uint64 { return f.sumStripes(func(st *FlightStripe) *uint64 { return &st.seen }) }
+
+// Sampled totals events recorded across stripes.
+func (f *FlightRecorder) Sampled() uint64 {
+	return f.sumStripes(func(st *FlightStripe) *uint64 { return &st.sampled })
+}
+
+// Evicted totals ring evictions across stripes.
+func (f *FlightRecorder) Evicted() uint64 {
+	return f.sumStripes(func(st *FlightStripe) *uint64 { return &st.evicted })
+}
+
+func (f *FlightRecorder) sumStripes(field func(*FlightStripe) *uint64) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var n uint64
+	for _, st := range f.stripes {
+		n += atomic.LoadUint64(field(st))
+	}
+	return n
+}
+
+// Register exposes the recorder's own health counters on a registry.
+func (f *FlightRecorder) Register(reg *Registry) {
+	reg.CounterFunc("obs_flight_seen_total",
+		"Packet events offered to the flight recorder.", f.Seen)
+	reg.CounterFunc("obs_flight_recorded_total",
+		"Packet events retained by sampling or flow tags.", f.Sampled)
+	reg.CounterFunc("obs_flight_evicted_total",
+		"Recorded events evicted by ring wrap.", f.Evicted)
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// HTTP export surface. Both daemons mount this behind their -metrics
+// flag:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  JSON snapshot (ts + merged metric values)
+//	/stream        NDJSON frames, one per published tick (backpressured)
+//	/flight.json   merged flight-recorder events (if attached)
+//	/debug/pprof/  the standard pprof handlers
+//
+// The Source abstracts where snapshots come from: a live *Registry for
+// the atomic-stripe daemon path, a *Recorder (last barrier-published
+// snapshot) for deterministic plain-stripe sims.
+
+// Source yields merged snapshots for export.
+type Source interface {
+	Snapshot() *Snapshot
+}
+
+// HandlerConfig wires the export surface.
+type HandlerConfig struct {
+	// Source yields snapshots for /metrics and /metrics.json.
+	Source Source
+	// Streamer, if set, backs /stream.
+	Streamer *Streamer
+	// Flight, if set, backs /flight.json.
+	Flight *FlightRecorder
+}
+
+// NewHandler builds the export mux.
+func NewHandler(cfg HandlerConfig) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, cfg.Source.Snapshot())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(cfg.Source.Snapshot())
+	})
+	if cfg.Streamer != nil {
+		mux.HandleFunc("/stream", func(w http.ResponseWriter, req *http.Request) {
+			flusher, ok := w.(http.Flusher)
+			if !ok {
+				http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			flusher.Flush()
+			sub := cfg.Streamer.Subscribe(16)
+			defer sub.Close()
+			ctx := req.Context()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case frame, ok := <-sub.Ch():
+					if !ok {
+						return
+					}
+					if _, err := w.Write(frame); err != nil {
+						return
+					}
+					flusher.Flush()
+				}
+			}
+		})
+	}
+	if cfg.Flight != nil {
+		mux.HandleFunc("/flight.json", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(cfg.Flight.Events())
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

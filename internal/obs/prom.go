@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) of a snapshot. Families
+// registered with the `name{label="v"}` syntax share one TYPE/HELP
+// block per base name; histograms render cumulative _bucket/_sum/_count
+// series from the log-bucket array, emitting only the buckets where the
+// cumulative count changes (plus +Inf) to keep metro-scale scrapes
+// small.
+
+// WritePrometheus renders snap in Prometheus text format. Samples are
+// grouped by base name (Prometheus requires one contiguous block per
+// metric even when labeled families were registered interleaved).
+func WritePrometheus(w io.Writer, snap *Snapshot) error {
+	var bases []string
+	byBase := make(map[string][]*Metric)
+	for i := range snap.Metrics {
+		m := &snap.Metrics[i]
+		if _, ok := byBase[m.Base]; !ok {
+			bases = append(bases, m.Base)
+		}
+		byBase[m.Base] = append(byBase[m.Base], m)
+	}
+	for _, base := range bases {
+		group := byBase[base]
+		if h := group[0].Help; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, sanitizeHelp(h)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, group[0].Kind.String()); err != nil {
+			return err
+		}
+		for _, m := range group {
+			if m.Hist != nil {
+				if err := writeHist(w, m); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", promName(m.Base, m.Labels, ""), fmtVal(m.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHist(w io.Writer, m *Metric) error {
+	var cum uint64
+	for i, n := range m.Hist.Buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		_, hi := bucketBounds(i)
+		le := strconv.FormatUint(hi, 10)
+		if _, err := fmt.Fprintf(w, "%s %d\n", promName(m.Base+"_bucket", m.Labels, `le="`+le+`"`), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", promName(m.Base+"_bucket", m.Labels, `le="+Inf"`), m.Hist.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", promName(m.Base+"_sum", m.Labels, ""), m.Hist.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", promName(m.Base+"_count", m.Labels, ""), m.Hist.Count)
+	return err
+}
+
+// promName joins a base name with registered labels and an extra label.
+func promName(base, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return base
+	case labels == "":
+		return base + "{" + extra + "}"
+	case extra == "":
+		return base + "{" + labels + "}"
+	default:
+		return base + "{" + labels + "," + extra + "}"
+	}
+}
+
+// fmtVal renders a sample value: integers exactly, floats in shortest
+// form.
+func fmtVal(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sanitizeHelp(h string) string {
+	h = strings.ReplaceAll(h, "\\", `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is active. Allocation
+// assertions are skipped under -race: instrumentation inserts
+// allocations the production path does not make.
+const raceEnabled = true

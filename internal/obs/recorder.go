@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder samples every registered, non-volatile family into fixed-
+// size time-series rings. It never drives its own clock: the owner
+// ticks it from an existing synchronization point — the netem engine's
+// epoch barrier (Simulator.OnBarrier) — so recording adds no barriers
+// and cannot perturb the event schedule. Sample times are virtual, and
+// sampled values are pure functions of deterministic sim state, so a
+// seeded run's rings are bit-identical at any worker count.
+//
+// For live export while a deterministic (plain-stripe) sim is running,
+// the recorder can additionally publish a merged Snapshot at each tick
+// behind an atomic pointer (EnablePublish) and push NDJSON frames to a
+// Streamer; both are read-side conveniences that do not feed back into
+// the sim.
+type Recorder struct {
+	reg      *Registry
+	ringSize int
+	interval int64 // min virtual nanos between samples
+
+	mu       sync.Mutex
+	series   []*Series
+	byName   map[string]*Series
+	lastTick int64
+	started  bool
+	ticks    atomic.Uint64
+
+	publish  atomic.Bool
+	latest   atomic.Pointer[Snapshot]
+	streamer *Streamer
+}
+
+// RecorderConfig sizes a Recorder.
+type RecorderConfig struct {
+	// RingSize bounds each series in points (default 512).
+	RingSize int
+	// Interval is the minimum virtual time between samples; 0 samples
+	// at every barrier.
+	Interval time.Duration
+}
+
+// NewRecorder creates a recorder over reg.
+func NewRecorder(reg *Registry, cfg RecorderConfig) *Recorder {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 512
+	}
+	return &Recorder{
+		reg:      reg,
+		ringSize: cfg.RingSize,
+		interval: int64(cfg.Interval),
+		byName:   make(map[string]*Series),
+	}
+}
+
+// Registry returns the registry the recorder samples.
+func (r *Recorder) Registry() *Registry { return r.reg }
+
+// EnablePublish makes each tick additionally publish a merged Snapshot
+// (including volatile families) for live HTTP export.
+func (r *Recorder) EnablePublish() { r.publish.Store(true) }
+
+// SetStreamer attaches a streamer: each published tick is also offered
+// to stream subscribers as one NDJSON frame (non-blocking; slow
+// consumers drop frames, the sim never stalls).
+func (r *Recorder) SetStreamer(st *Streamer) {
+	r.streamer = st
+	r.publish.Store(true)
+}
+
+// Series is one metric's ring of (virtual time, value) points.
+type Series struct {
+	// Name is the family name, with ".p50"/".p95"/".p99" suffixes for
+	// histogram quantile series.
+	Name  string
+	times []int64
+	vals  []float64
+	w     int
+	full  bool
+}
+
+// Points returns the ring unrolled oldest-first (copies).
+func (s *Series) Points() (times []int64, vals []float64) {
+	if !s.full {
+		return append([]int64(nil), s.times...), append([]float64(nil), s.vals...)
+	}
+	n := len(s.times)
+	times = make([]int64, 0, n)
+	vals = make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		j := (s.w + i) % n
+		times = append(times, s.times[j])
+		vals = append(vals, s.vals[j])
+	}
+	return times, vals
+}
+
+// Len reports retained points.
+func (s *Series) Len() int {
+	if s.full {
+		return len(s.times)
+	}
+	return len(s.times)
+}
+
+func (s *Series) push(t int64, v float64, ringSize int) {
+	if len(s.times) < ringSize {
+		s.times = append(s.times, t)
+		s.vals = append(s.vals, v)
+		return
+	}
+	s.full = true
+	s.times[s.w] = t
+	s.vals[s.w] = v
+	s.w = (s.w + 1) % len(s.times)
+}
+
+// Tick samples every non-volatile family at virtual time nowNanos.
+// Called from the engine's barrier (single-threaded, writers
+// quiescent). Interval gating keys on virtual time, so tick counts are
+// a function of the simulated timeline, not of execution.
+func (r *Recorder) Tick(nowNanos int64) {
+	r.mu.Lock()
+	if r.started && r.interval > 0 && nowNanos-r.lastTick < r.interval {
+		r.mu.Unlock()
+		return
+	}
+	r.lastTick = nowNanos
+	r.started = true
+	r.ticks.Add(1)
+	snap := r.reg.snapshotAt(nowNanos, true)
+	for _, m := range snap.Metrics {
+		if m.Hist != nil {
+			r.seriesFor(m.Name+".count").push(nowNanos, float64(m.Hist.Count), r.ringSize)
+			r.seriesFor(m.Name+".p50").push(nowNanos, m.Hist.P50, r.ringSize)
+			r.seriesFor(m.Name+".p95").push(nowNanos, m.Hist.P95, r.ringSize)
+			r.seriesFor(m.Name+".p99").push(nowNanos, m.Hist.P99, r.ringSize)
+			continue
+		}
+		r.seriesFor(m.Name).push(nowNanos, m.Value, r.ringSize)
+	}
+	r.mu.Unlock()
+
+	if r.publish.Load() {
+		full := r.reg.snapshotAt(nowNanos, false)
+		r.latest.Store(full)
+		if st := r.streamer; st != nil && st.Active() {
+			st.Publish(MarshalFrame(full))
+		}
+	}
+}
+
+func (r *Recorder) seriesFor(name string) *Series {
+	s, ok := r.byName[name]
+	if !ok {
+		s = &Series{Name: name}
+		r.byName[name] = s
+		r.series = append(r.series, s)
+	}
+	return s
+}
+
+// Ticks reports how many samples were taken.
+func (r *Recorder) Ticks() uint64 { return r.ticks.Load() }
+
+// Series returns the recorded series in first-seen order.
+func (r *Recorder) Series() []*Series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Series, len(r.series))
+	copy(out, r.series)
+	return out
+}
+
+// SeriesByName returns one series, or nil.
+func (r *Recorder) SeriesByName(name string) *Series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byName[name]
+}
+
+// Snapshot implements Source: the last published snapshot if publishing
+// is on, else a live merge of the registry. Mid-run scrapes of a plain-
+// stripe sim should come from published snapshots (barrier-consistent);
+// the live fallback serves the post-run and pre-run cases.
+func (r *Recorder) Snapshot() *Snapshot {
+	if s := r.latest.Load(); s != nil {
+		return s
+	}
+	return r.reg.Snapshot()
+}
+
+// Register exposes recorder health on the registry it samples.
+func (r *Recorder) Register() {
+	r.reg.CounterFunc("obs_recorder_ticks_total",
+		"Samples the epoch recorder has taken.", r.Ticks, Volatile())
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+)
+
+// Streamer fans metric frames out to NDJSON subscribers with explicit
+// backpressure: Publish never blocks — a subscriber whose buffered
+// channel is full loses that frame and the loss is counted. The
+// publisher (an epoch barrier or a daemon ticker) therefore can never
+// be stalled by a slow scrape client.
+type Streamer struct {
+	mu    sync.Mutex
+	subs  map[*StreamSub]struct{}
+	nsubs atomic.Int32
+
+	dropped   atomic.Uint64
+	published atomic.Uint64
+}
+
+// StreamSub is one subscriber's bounded frame queue.
+type StreamSub struct {
+	st      *Streamer
+	ch      chan []byte
+	dropped atomic.Uint64
+	once    sync.Once
+}
+
+// NewStreamer creates a streamer with no subscribers.
+func NewStreamer() *Streamer {
+	return &Streamer{subs: make(map[*StreamSub]struct{})}
+}
+
+// Active reports whether any subscriber is attached — publishers check
+// it to skip frame marshalling entirely when nobody is listening.
+func (s *Streamer) Active() bool { return s.nsubs.Load() > 0 }
+
+// Subscribe attaches a subscriber with the given frame buffer (min 1).
+func (s *Streamer) Subscribe(buf int) *StreamSub {
+	if buf < 1 {
+		buf = 1
+	}
+	sub := &StreamSub{st: s, ch: make(chan []byte, buf)}
+	s.mu.Lock()
+	s.subs[sub] = struct{}{}
+	s.mu.Unlock()
+	s.nsubs.Add(1)
+	return sub
+}
+
+// Ch returns the subscriber's frame channel. It is closed by Close.
+func (sub *StreamSub) Ch() <-chan []byte { return sub.ch }
+
+// Dropped reports frames this subscriber lost to backpressure.
+func (sub *StreamSub) Dropped() uint64 { return sub.dropped.Load() }
+
+// Close detaches the subscriber and closes its channel.
+func (sub *StreamSub) Close() {
+	sub.once.Do(func() {
+		s := sub.st
+		s.mu.Lock()
+		delete(s.subs, sub)
+		s.mu.Unlock()
+		s.nsubs.Add(-1)
+		close(sub.ch)
+	})
+}
+
+// Publish offers one frame to every subscriber, never blocking: a full
+// subscriber queue drops the frame and increments the drop counters.
+func (s *Streamer) Publish(frame []byte) {
+	s.published.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for sub := range s.subs {
+		select {
+		case sub.ch <- frame:
+		default:
+			sub.dropped.Add(1)
+			s.dropped.Add(1)
+		}
+	}
+}
+
+// DroppedFrames totals frames lost to slow subscribers.
+func (s *Streamer) DroppedFrames() uint64 { return s.dropped.Load() }
+
+// Published totals frames offered.
+func (s *Streamer) Published() uint64 { return s.published.Load() }
+
+// Register exposes stream health on a registry. The counters are
+// volatile: whether a frame drops depends on wall-clock consumer speed.
+func (s *Streamer) Register(reg *Registry) {
+	reg.CounterFunc("obs_stream_frames_total",
+		"Metric frames offered to stream subscribers.", s.Published, Volatile())
+	reg.CounterFunc("obs_stream_dropped_frames_total",
+		"Metric frames dropped by slow stream subscribers.", s.DroppedFrames, Volatile())
+	reg.GaugeFunc("obs_stream_subscribers",
+		"Attached stream subscribers.", func() float64 { return float64(s.nsubs.Load()) }, Volatile())
+}
+
+// frame is the NDJSON wire form of a snapshot: flat name→value map plus
+// histogram summaries, one JSON object per line.
+type frame struct {
+	TS      int64                  `json:"ts"`
+	Metrics map[string]float64     `json:"metrics"`
+	Hists   map[string]frameHist   `json:"hists,omitempty"`
+}
+
+type frameHist struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// MarshalFrame renders a snapshot as one newline-terminated NDJSON
+// frame.
+func MarshalFrame(s *Snapshot) []byte {
+	f := frame{TS: s.TimeNanos, Metrics: make(map[string]float64, len(s.Metrics))}
+	for _, m := range s.Metrics {
+		if m.Hist != nil {
+			if f.Hists == nil {
+				f.Hists = make(map[string]frameHist)
+			}
+			f.Hists[m.Name] = frameHist{
+				Count: m.Hist.Count, Mean: m.Hist.Mean(),
+				P50: m.Hist.P50, P95: m.Hist.P95, P99: m.Hist.P99,
+			}
+			continue
+		}
+		f.Metrics[m.Name] = m.Value
+	}
+	b, err := json.Marshal(f)
+	if err != nil {
+		return []byte("{}\n")
+	}
+	return append(b, '\n')
+}

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"netneutral/internal/netem"
+	"netneutral/internal/obs"
 )
 
 // Net couples a serial netem.Simulator to blocking endpoints. Create one
@@ -71,10 +72,11 @@ type Net struct {
 	binds    map[*netem.Node]*nodeBind
 	stackBuf []byte // reused runtime.Stack scratch
 
-	// stats
-	wakes  uint64
-	steps  uint64
-	spinNs int64
+	// stats: atomics, not mu-guarded, so registry CounterFuncs can read
+	// them from a barrier callback that fires while the driver holds mu.
+	wakes  atomic.Uint64
+	steps  atomic.Uint64
+	spinNs atomic.Int64
 }
 
 // waiter is one parked goroutine. All fields are guarded by Net.mu; the
@@ -277,7 +279,7 @@ func (n *Net) settle() {
 			copy(n.readyQ, n.readyQ[1:])
 			n.readyQ = n.readyQ[:len(n.readyQ)-1]
 			w.queued = false
-			n.wakes++
+			n.wakes.Add(1)
 			w.ch <- struct{}{}
 			n.relax(&spins)
 			continue
@@ -303,7 +305,7 @@ func (n *Net) relax(spins *int) {
 	if *spins%512 == 0 {
 		t0 := time.Now()
 		time.Sleep(20 * time.Microsecond)
-		atomic.AddInt64(&n.spinNs, int64(time.Since(t0)))
+		n.spinNs.Add(int64(time.Since(t0)))
 	} else {
 		runtime.Gosched()
 	}
@@ -321,7 +323,7 @@ func (n *Net) advance() bool {
 		switch {
 		case okEv && (!okTm || !tEv.After(tTm)):
 			n.sim.Step()
-			n.steps++
+			n.steps.Add(1)
 			progress = true
 		case okTm:
 			if tTm.After(n.sim.Now()) {
@@ -426,11 +428,34 @@ func countBusy(dump []byte) int {
 }
 
 // Stats reports driver counters: serialized wakeups delivered, simulator
-// steps taken, and cumulative real time spent sleeping in the settle loop.
+// steps taken, and cumulative real time spent sleeping in the settle
+// loop. Safe from any goroutine, including registry snapshots taken
+// while the driver runs.
 func (n *Net) Stats() (wakes, steps uint64, spin time.Duration) {
-	n.lock()
-	defer n.mu.Unlock()
-	return n.wakes, n.steps, time.Duration(atomic.LoadInt64(&n.spinNs))
+	return n.wakes.Load(), n.steps.Load(), time.Duration(n.spinNs.Load())
+}
+
+// Instrument registers the driver's counters on reg:
+//
+//	simnet_wakes_total        serialized goroutine wakeups delivered
+//	simnet_steps_total        simulator events single-stepped
+//	simnet_spin_seconds_total real time slept in the quiescence loop
+//
+// Wakes and steps are deterministic for a seeded workload; the spin time
+// is wall-clock and registered Volatile so it never enters deterministic
+// recorder rings. The families read atomics — no driver lock — so they
+// are safe to sample from barrier callbacks and live HTTP scrapes alike.
+func (n *Net) Instrument(reg *obs.Registry) {
+	reg.CounterFunc("simnet_wakes_total",
+		"Serialized wakeups the simnet driver delivered to workload goroutines.",
+		func() uint64 { return n.wakes.Load() })
+	reg.CounterFunc("simnet_steps_total",
+		"Simulator events the simnet driver single-stepped.",
+		func() uint64 { return n.steps.Load() })
+	reg.GaugeFunc("simnet_spin_seconds_total",
+		"Real time the driver slept waiting for process quiescence.",
+		func() float64 { return time.Duration(n.spinNs.Load()).Seconds() },
+		obs.Volatile())
 }
 
 // timerHeap is a min-heap on (at, seq).

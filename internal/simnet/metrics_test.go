@@ -1,0 +1,41 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"netneutral/internal/obs"
+)
+
+// TestNetInstrument pins the driver's registry families against Stats()
+// after a run, including snapshotting concurrently-safe reads and the
+// volatile tagging of the wall-clock spin family.
+func TestNetInstrument(t *testing.T) {
+	n, _, _ := pair(t)
+	reg := obs.NewRegistry()
+	n.Instrument(reg)
+
+	n.Go(func() {
+		n.Sleep(10 * time.Millisecond)
+		n.Sleep(5 * time.Millisecond)
+	})
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	wakes, steps, _ := n.Stats()
+	if wakes == 0 {
+		t.Fatal("no wakes recorded (degenerate run)")
+	}
+	snap := reg.Snapshot()
+	if m := snap.Get("simnet_wakes_total"); m == nil || uint64(m.Value) != wakes {
+		t.Errorf("simnet_wakes_total = %+v, Stats says %d", m, wakes)
+	}
+	if m := snap.Get("simnet_steps_total"); m == nil || uint64(m.Value) != steps {
+		t.Errorf("simnet_steps_total = %+v, Stats says %d", m, steps)
+	}
+	spin := snap.Get("simnet_spin_seconds_total")
+	if spin == nil || !spin.Volatile {
+		t.Errorf("simnet_spin_seconds_total missing or not volatile: %+v", spin)
+	}
+}

@@ -1,0 +1,51 @@
+package trafficgen
+
+import (
+	"testing"
+
+	"netneutral/internal/obs"
+)
+
+// TestAppMetricsCounting pins the emit/deliver wrappers: per-app
+// families sum across shard stripes and apps stay separate.
+func TestAppMetricsCounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewAppMetrics(reg)
+
+	sent := 0
+	emit := m.CountEmit(AppVoIP, 0, func(seq uint64, size int) { sent += size })
+	for i := 0; i < 10; i++ {
+		emit(uint64(i), 160)
+	}
+	// A second VoIP flow on another shard lands in the same family.
+	emit2 := m.CountEmit(AppVoIP, 3, func(seq uint64, size int) {})
+	emit2(0, 160)
+	del := m.CountDeliver(AppVoIP, 2)
+	for i := 0; i < 4; i++ {
+		del(160)
+	}
+	m.Delivered(AppBulk, 0, 1400)
+
+	snap := reg.Snapshot()
+	checks := map[string]uint64{
+		`trafficgen_sent_packets_total{app="voip"}`:      11,
+		`trafficgen_sent_bytes_total{app="voip"}`:        11 * 160,
+		`trafficgen_delivered_packets_total{app="voip"}`: 4,
+		`trafficgen_delivered_bytes_total{app="voip"}`:   4 * 160,
+		`trafficgen_delivered_packets_total{app="bulk"}`: 1,
+		`trafficgen_delivered_bytes_total{app="bulk"}`:   1400,
+		`trafficgen_sent_packets_total{app="web"}`:       0,
+	}
+	for name, want := range checks {
+		mt := snap.Get(name)
+		if mt == nil {
+			t.Fatalf("registry missing %s", name)
+		}
+		if uint64(mt.Value) != want {
+			t.Errorf("%s = %v, want %d", name, mt.Value, want)
+		}
+	}
+	if sent != 10*160 {
+		t.Errorf("wrapped emit saw %d bytes, want %d", sent, 10*160)
+	}
+}

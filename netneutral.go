@@ -24,6 +24,8 @@
 //   - NewCloakShaper: padding/timing countermeasures (internal/cloak)
 //   - NewAuditProber / AuditDecide / AuditSummarize: the active
 //     neutrality auditor (internal/audit)
+//   - NewMetricsRegistry / NewMetricsRecorder / NewFlightRecorder /
+//     NewMetricsHandler: the zero-alloc observability plane (internal/obs)
 //   - Experiments / ExperimentByID: the paper-reproduction harness (internal/eval)
 //
 // A minimal in-process conversation:
@@ -41,6 +43,7 @@
 package netneutral
 
 import (
+	"net/http"
 	"time"
 
 	"netneutral/internal/audit"
@@ -53,6 +56,7 @@ import (
 	"netneutral/internal/endhost"
 	"netneutral/internal/eval"
 	"netneutral/internal/netem"
+	"netneutral/internal/obs"
 	"netneutral/internal/simnet"
 )
 
@@ -229,6 +233,53 @@ func AuditDecide(r *AuditReport, cfg AuditDecisionConfig) AuditVerdict {
 func AuditSummarize(reports []*AuditReport, cfg AuditDecisionConfig, minFraction float64) AuditSummary {
 	return audit.Summarize(reports, cfg, minFraction)
 }
+
+// MetricsRegistry holds named counter, gauge and histogram families
+// whose hot-path update is a plain increment on a cache-line-padded,
+// single-writer stripe (zero allocations, no atomics on the
+// deterministic sim path; atomic stripes serve concurrent writers).
+// Simulator.Metrics returns the emulator's registry; NeutralizerPool
+// exposes Instrument for the data plane's.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry creates an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MetricsSnapshot is a merged point-in-time view of every registered
+// family.
+type MetricsSnapshot = obs.Snapshot
+
+// MetricsRecorder samples a registry into fixed-size time-series rings
+// at existing synchronization points (the emulator's epoch barriers via
+// Simulator.OnBarrier), so recording never perturbs a seeded run.
+type MetricsRecorder = obs.Recorder
+
+// MetricsRecorderConfig sizes a MetricsRecorder.
+type MetricsRecorderConfig = obs.RecorderConfig
+
+// NewMetricsRecorder creates a recorder over reg.
+func NewMetricsRecorder(reg *MetricsRegistry, cfg MetricsRecorderConfig) *MetricsRecorder {
+	return obs.NewRecorder(reg, cfg)
+}
+
+// FlightRecorder keeps bounded rings of head-sampled simulator trace
+// events (attach with Simulator.AttachFlightRecorder), replacing
+// unbounded trace fan-out with a fixed memory budget.
+type FlightRecorder = obs.FlightRecorder
+
+// FlightRecorderConfig sizes a FlightRecorder.
+type FlightRecorderConfig = obs.FlightConfig
+
+// NewFlightRecorder creates a flight recorder.
+func NewFlightRecorder(cfg FlightRecorderConfig) *FlightRecorder { return obs.NewFlightRecorder(cfg) }
+
+// MetricsHandlerConfig wires the HTTP export surface (/metrics,
+// /metrics.json, /stream, /flight.json, pprof).
+type MetricsHandlerConfig = obs.HandlerConfig
+
+// NewMetricsHandler builds the export mux both daemons mount behind
+// their -metrics flag.
+func NewMetricsHandler(cfg MetricsHandlerConfig) *http.ServeMux { return obs.NewHandler(cfg) }
 
 // Experiment is one registered paper-reproduction unit.
 type Experiment = eval.Experiment

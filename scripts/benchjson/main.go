@@ -23,7 +23,11 @@
 // BenchmarkSimnetUDPEcho's "rtps" metric (blocking UDP echo round trips
 // per wall second through the simnet bridge) is recorded as
 // simnet_echo_rtps so the virtual-time driver's overhead is tracked
-// across PRs.
+// across PRs. The observability plane adds two more: BenchmarkObsInc
+// (one counter-stripe increment) must be zero-alloc
+// (obs_inc_zero_alloc), and BenchmarkNetemMetroObs — the metro run with
+// the epoch recorder and flight recorder live — must stay within 5% of
+// BenchmarkNetemMetro's events/s (obs_overhead_pct).
 package main
 
 import (
@@ -179,7 +183,7 @@ func ptr(v float64) *float64 { return &v }
 // evalChecks records the acceptance checks for the zero-alloc sharded
 // data plane.
 func evalChecks(rep *Report) {
-	var batch, fwd, metro, dpiClassify, dpiUpdate, cloakFrame, auditTrial, simnetEcho *Bench
+	var batch, fwd, metro, metroObs, obsInc, dpiClassify, dpiUpdate, cloakFrame, auditTrial, simnetEcho *Bench
 	rates := map[string]float64{}
 	parRates := map[string]float64{}
 	for i, b := range rep.Benchmarks {
@@ -191,6 +195,12 @@ func evalChecks(rep *Report) {
 		}
 		if b.Name == "BenchmarkNetemMetro" {
 			metro = &rep.Benchmarks[i]
+		}
+		if b.Name == "BenchmarkNetemMetroObs" {
+			metroObs = &rep.Benchmarks[i]
+		}
+		if b.Name == "BenchmarkObsInc" {
+			obsInc = &rep.Benchmarks[i]
 		}
 		if b.Name == "BenchmarkDPIClassify" {
 			dpiClassify = &rep.Benchmarks[i]
@@ -246,6 +256,26 @@ func evalChecks(rep *Report) {
 	zeroAllocCheck("netem_forward_zero_alloc", fwd)
 	zeroAllocCheck("dpi_classify_zero_alloc", dpiClassify)
 	zeroAllocCheck("dpi_feature_update_zero_alloc", dpiUpdate)
+	zeroAllocCheck("obs_inc_zero_alloc", obsInc)
+	// The observation-plane overhead bound: the metro run with the epoch
+	// recorder and flight recorder live must keep >= 95% of the
+	// unobserved run's event rate.
+	switch {
+	case metroObs == nil:
+		rep.Checks["obs_overhead_pct"] = "not run"
+	case metro == nil || metro.EventsPerSec == nil || *metro.EventsPerSec <= 0 ||
+		metroObs.EventsPerSec == nil || *metroObs.EventsPerSec <= 0:
+		rep.Checks["obs_overhead_pct"] = "FAIL (need events/s from both BenchmarkNetemMetro and BenchmarkNetemMetroObs)"
+	default:
+		pct := (1 - *metroObs.EventsPerSec / *metro.EventsPerSec) * 100
+		if pct < 5 {
+			rep.Checks["obs_overhead_pct"] = fmt.Sprintf(
+				"pass (%.1f%% events/s cost with recorder+flight attached, want < 5%%)", pct)
+		} else {
+			rep.Checks["obs_overhead_pct"] = fmt.Sprintf(
+				"FAIL (%.1f%% events/s cost with recorder+flight attached, want < 5%%)", pct)
+		}
+	}
 	switch {
 	case dpiClassify == nil:
 		rep.Checks["dpi_accuracy_uncloaked"] = "not run"
