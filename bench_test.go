@@ -348,6 +348,57 @@ func BenchmarkNetemForward(b *testing.B) {
 	reportKpps(b, 1)
 }
 
+// BenchmarkTraceOff measures the forwarding hot path with per-hop delay
+// attribution armed but no flight recorder attached: a cause-tagged
+// policing hook on the router delays every packet, so the attribution
+// accumulators (queue wait, serialization, propagation, policy delay)
+// are exercised on every hop. The acceptance bar (trace_off_zero_alloc
+// in scripts/benchjson) is still 0 allocs/op — with tracing off, the
+// attribution plumbing must cost nothing on the allocator.
+func BenchmarkTraceOff(b *testing.B) {
+	simStart := time.Date(2006, 11, 1, 0, 0, 0, 0, time.UTC)
+	sim := netem.NewSimulator(simStart, 1)
+	a := sim.MustAddNode("a", "", netip.MustParseAddr("10.0.0.1"))
+	r := sim.MustAddNode("r", "", netip.MustParseAddr("10.0.0.254"))
+	c := sim.MustAddNode("c", "", netip.MustParseAddr("10.0.1.1"))
+	sim.Connect(a, r, netem.LinkConfig{Delay: time.Millisecond})
+	sim.Connect(r, c, netem.LinkConfig{Delay: time.Millisecond})
+	sim.BuildRoutes()
+	r.AddTransitHook(func(time.Time, *netem.Node, []byte) netem.Verdict {
+		return netem.Verdict{
+			Delay: 200 * time.Microsecond,
+			Cause: netem.CauseClassDelay,
+			Class: 1,
+		}
+	})
+	delivered := 0
+	c.SetHandler(func(time.Time, []byte) { delivered++ })
+	env := mustEnv(b, false, false)
+	pkt := env.FreshVanilla()
+	src, dst := netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.1.1")
+	if err := wire.RewriteIPv4Addrs(pkt, &src, &dst); err != nil {
+		b.Fatal(err)
+	}
+	// Warm the pool and the event heap so the timed region is steady
+	// state.
+	_ = a.Send(pkt)
+	sim.Run()
+	b.SetBytes(int64(len(pkt)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send(pkt); err != nil {
+			b.Fatal(err)
+		}
+		sim.Run()
+	}
+	b.StopTimer()
+	if delivered != b.N+1 {
+		b.Fatalf("delivered %d/%d", delivered, b.N+1)
+	}
+	reportKpps(b, 1)
+}
+
 // BenchmarkNetemMetro drives the 10k-host fan-out (built once) with
 // bursts of neutralized traffic: the engine-scale acceptance benchmark.
 // It reports sim events/sec and forwarded packets/sec; scripts/benchjson
@@ -409,6 +460,39 @@ func BenchmarkNetemMetroObs(b *testing.B) {
 	const hosts = 10000
 	const burst = 512
 	st, err := eval.NewMetroBenchObserved(hosts, burst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One warmup burst outside the timer.
+	if err := st.RunBurst(); err != nil {
+		b.Fatal(err)
+	}
+	ev0, fwd0 := st.Counters()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.RunBurst(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	ev1, fwd1 := st.Counters()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(ev1-ev0)/sec, "events/s")
+		b.ReportMetric(float64(fwd1-fwd0)/sec, "pps")
+	}
+}
+
+// BenchmarkNetemMetroTrace is BenchmarkNetemMetro with always-on causal
+// tracing live: the deterministic flow sampler records 1% of flows end
+// to end (every hop, span-assembly-complete) and the rest head-sample
+// at 1-in-64. scripts/benchjson compares its events/s against the
+// untraced metro run and enforces trace_overhead_pct < 5% — the bound
+// that makes always-on flow tracing tenable at metro scale.
+func BenchmarkNetemMetroTrace(b *testing.B) {
+	const hosts = 10000
+	const burst = 512
+	st, err := eval.NewMetroBenchTraced(hosts, burst)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -52,8 +52,10 @@
 //
 //	neutsim                       # plain vs neutralized, summary
 //	neutsim -neutralize=false     # only the plain phase
-//	neutsim -packets 50 -trace    # per-packet trace of the AT&T segment
+//	neutsim -packets 50 -trace all  # per-packet trace of the AT&T segment
 //	neutsim -hosts 10000 -duration 2s -seed 7   # metro-scale run
+//	neutsim -hosts 1000 -trace all -traceout t.json  # metro + Perfetto trace
+//	neutsim -hosts 1000 -trace 0.01 -metrics :0      # sampled flows on /trace.json
 //	neutsim -hosts 1000 -simworkers 2           # metro on 2 workers
 //	neutsim -hosts 1000 -metrics :0             # metro + /metrics, /stream, pprof
 //	neutsim -arms -flows 8 -duration 2s -seed 7 # arms race, 8 flows/class
@@ -70,6 +72,9 @@ import (
 	"net"
 	"net/http"
 	"net/netip"
+	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"netneutral"
@@ -99,7 +104,8 @@ var (
 func main() {
 	packets := flag.Int("packets", 20, "data packets to attempt")
 	neutralize := flag.Bool("neutralize", true, "also run the neutralized phase")
-	trace := flag.Bool("trace", false, "print each packet crossing the discriminatory ISP")
+	trace := flag.String("trace", "", "flow tracing spec: \"all\" records every flow, a fraction in (0,1) samples that share of flows deterministically, 0xHEX tags one flow hash, SRC-DST[/PROTO] tags one address pair; in the Figure-1 scenario any non-empty value prints each packet crossing the discriminatory ISP")
+	traceOut := flag.String("traceout", "", "write the metro run's traced spans as Chrome trace-event JSON (load in Perfetto or chrome://tracing) to this file")
 	seed := flag.Int64("seed", 1, "seed threaded to every RNG (simulator, policies, jitter, identities)")
 	hosts := flag.Int("hosts", 0, "run the metro-scale scenario with this many customer hosts (0 = Figure-1 narration)")
 	arms := flag.Bool("arms", false, "run the E7 arms-race scenario (dpi adversary vs cloaking)")
@@ -132,22 +138,25 @@ func main() {
 		return
 	}
 	if *hosts > 0 {
-		runMetro(*hosts, *seed, *duration, *simWorkers, *metricsAddr, *metricsHold)
+		runMetro(*hosts, *seed, *duration, *simWorkers, *metricsAddr, *metricsHold, *trace, *traceOut)
 		return
 	}
 	if *metricsAddr != "" {
 		log.Fatal("neutsim: -metrics requires the metro scenario (-hosts N)")
 	}
+	if *traceOut != "" {
+		log.Fatal("neutsim: -traceout requires the metro scenario (-hosts N)")
+	}
 
 	fmt.Println("== phase 1: plain addressing, ISP targets the customer ==")
-	delivered, hits := runPlain(*packets, *trace, *seed)
+	delivered, hits := runPlain(*packets, *trace != "", *seed)
 	fmt.Printf("delivered %d/%d; classifier hits %d — deterministic harm\n\n", delivered, *packets, hits)
 
 	if !*neutralize {
 		return
 	}
 	fmt.Println("== phase 2: neutralized, same classifier ==")
-	delivered2, hits2, sawCustomer := runNeutralized(*packets, *trace, *seed+1)
+	delivered2, hits2, sawCustomer := runNeutralized(*packets, *trace != "", *seed+1)
 	fmt.Printf("delivered %d/%d; classifier hits %d; ISP saw customer address: %v\n",
 		delivered2, *packets, hits2, sawCustomer)
 	fmt.Println("the ISP can degrade the supportive ISP's traffic as a whole, but cannot single out the customer")
@@ -225,16 +234,41 @@ func runArms(flowsPerClass int, seed int64, duration time.Duration) {
 // surface on the run's registry: a Recorder publishing a merged
 // snapshot at every epoch barrier (so mid-run scrapes are
 // barrier-consistent), an NDJSON streamer, a FlightRecorder, and pprof.
-func runMetro(hosts int, seed int64, duration time.Duration, workers int, metricsAddr string, hold time.Duration) {
+// A non-empty traceSpec sizes the flight recorder from the flowspec
+// (independent of -metrics); traceOut then writes the assembled spans
+// as Chrome trace-event JSON after the run.
+func runMetro(hosts int, seed int64, duration time.Duration, workers int, metricsAddr string, hold time.Duration, traceSpec, traceOut string) {
 	fmt.Printf("== metro scale: %d customers behind one neutralizer domain, %d sim worker(s) ==\n", hosts, workers)
 	cfg := eval.MetroConfig{Hosts: hosts, Seed: seed, Duration: duration, Workers: workers}
-	if metricsAddr != "" {
-		ln, err := net.Listen("tcp", metricsAddr)
+	var fr *obs.FlightRecorder
+	if traceSpec != "" {
+		fcfg, tags, err := parseFlowSpec(traceSpec)
 		if err != nil {
 			log.Fatal(err)
 		}
+		fr = obs.NewFlightRecorder(fcfg)
+		for _, t := range tags {
+			fr.Tag(t)
+		}
+	}
+	var ln net.Listener
+	if metricsAddr != "" {
+		var err error
+		if ln, err = net.Listen("tcp", metricsAddr); err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("metrics listening on http://%s/metrics\n", ln.Addr())
+	}
+	if fr != nil || ln != nil {
 		cfg.Attach = func(sim *netem.Simulator) {
+			if fr == nil {
+				fr = obs.NewFlightRecorder(obs.FlightConfig{})
+			}
+			fr.Register(sim.Metrics())
+			sim.AttachFlightRecorder(fr)
+			if ln == nil {
+				return
+			}
 			rec := obs.NewRecorder(sim.Metrics(), obs.RecorderConfig{
 				RingSize: 512, Interval: time.Millisecond,
 			})
@@ -243,9 +277,6 @@ func runMetro(hosts int, seed int64, duration time.Duration, workers int, metric
 			stream.Register(sim.Metrics())
 			rec.SetStreamer(stream)
 			sim.OnBarrier(func(now time.Time) { rec.Tick(now.UnixNano()) })
-			fr := obs.NewFlightRecorder(obs.FlightConfig{})
-			fr.Register(sim.Metrics())
-			sim.AttachFlightRecorder(fr)
 			go func() {
 				_ = http.Serve(ln, obs.NewHandler(obs.HandlerConfig{
 					Source: rec, Streamer: stream, Flight: fr,
@@ -264,6 +295,24 @@ func runMetro(hosts int, seed int64, duration time.Duration, workers int, metric
 	fmt.Printf("engine          %d sim events in %v wall: %.0f events/sec, %.0f fwd pps, %.0f delivered pps\n",
 		st.SimEvents, st.RunTime.Round(time.Millisecond), st.EventsPerSec, st.ForwardPps, st.DeliveredPps)
 	fmt.Printf("packet pool     %d buffers backed %d checkouts\n", st.PoolAllocated, st.PoolGets)
+	if traceOut != "" {
+		if fr == nil {
+			log.Fatal("neutsim: -traceout requires -trace")
+		}
+		out, err := os.Create(traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spans := obs.AssembleSpans(fr.Events())
+		if err := obs.WriteChromeTrace(out, spans); err != nil {
+			log.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace           %d flows, %d retained events written to %s (Perfetto-loadable)\n",
+			len(spans), fr.Sampled()-fr.Evicted(), traceOut)
+	}
 	if metricsAddr != "" && hold > 0 {
 		fmt.Printf("metrics holding for %v (final state scrapeable)\n", hold)
 		time.Sleep(hold)
@@ -294,7 +343,69 @@ func runRealProto(seed int64) {
 		st.Neutral.Discriminated, st.Neutral.Trials)
 	fmt.Printf("audit       20ms targeted throttle discriminated=%v  (delay gap %.1fx, MW p=%.2g)\n",
 		st.Throttled.Discriminated, st.Throttled.DelayGap, st.Throttled.DelayMW.P)
+	fmt.Printf("trace       %d journeys attributed exactly; %d throttled journeys carry 20ms rule-caused delay each\n",
+		st.NeutralTrace.Journeys+st.ThrottledTrace.Journeys, st.ThrottledTrace.Throttled)
 	fmt.Println("determinism verified per seed: simnet parks real goroutines and replays bit-identically")
+}
+
+// parseFlowSpec interprets the -trace flowspec for the metro scenario:
+//
+//	all              record every event of every flow
+//	0.25             flow-keyed sampling: record all events of that
+//	                 deterministic fraction of flows (flow < f*2^64)
+//	0xDEADBEEF       tag one flow by its 64-bit flow hash
+//	10.0.0.1-10.0.1.5[/17]  tag the flow between two addresses
+//	                 (IP protocol defaults to UDP)
+//
+// Tagged and fraction-selected flows are recorded in full, on top of
+// the recorder's default 1-in-64 head sampling; the selection is a pure
+// function of flow identity, so the traced set replays bit-identically
+// at any -simworkers.
+func parseFlowSpec(spec string) (obs.FlightConfig, []uint64, error) {
+	// Tracing rings are sized generously: the spec asks for specific
+	// flows end to end, so give them room before eviction clips spans.
+	cfg := obs.FlightConfig{RingSize: 1 << 14}
+	switch {
+	case spec == "all":
+		cfg.SampleFlows = 1
+		return cfg, nil, nil
+	case strings.HasPrefix(spec, "0x") || strings.HasPrefix(spec, "0X"):
+		id, err := strconv.ParseUint(spec[2:], 16, 64)
+		if err != nil {
+			return cfg, nil, fmt.Errorf("neutsim: -trace %q: bad flow hash: %v", spec, err)
+		}
+		return cfg, []uint64{id}, nil
+	case strings.Contains(spec, "-"):
+		pair, protoStr, hasProto := strings.Cut(spec, "/")
+		proto := uint64(wire.ProtoUDP)
+		if hasProto {
+			var err error
+			if proto, err = strconv.ParseUint(protoStr, 10, 8); err != nil {
+				return cfg, nil, fmt.Errorf("neutsim: -trace %q: bad protocol: %v", spec, err)
+			}
+		}
+		srcStr, dstStr, _ := strings.Cut(pair, "-")
+		src, err := netip.ParseAddr(srcStr)
+		if err != nil {
+			return cfg, nil, fmt.Errorf("neutsim: -trace %q: bad source: %v", spec, err)
+		}
+		dst, err := netip.ParseAddr(dstStr)
+		if err != nil {
+			return cfg, nil, fmt.Errorf("neutsim: -trace %q: bad destination: %v", spec, err)
+		}
+		key, err := netem.FlowKeyFrom(src, dst, uint8(proto))
+		if err != nil {
+			return cfg, nil, fmt.Errorf("neutsim: -trace %q: %v", spec, err)
+		}
+		return cfg, []uint64{netem.FlowKeyHash(key)}, nil
+	default:
+		frac, err := strconv.ParseFloat(spec, 64)
+		if err != nil || frac <= 0 || frac > 1 {
+			return cfg, nil, fmt.Errorf("neutsim: -trace %q: want \"all\", a fraction in (0,1], 0xHEX, or SRC-DST[/PROTO]", spec)
+		}
+		cfg.SampleFlows = frac
+		return cfg, nil, nil
+	}
 }
 
 // runParScale drives the E9 worker sweep; RunParScale exits non-zero

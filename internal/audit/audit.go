@@ -256,6 +256,10 @@ type Summary struct {
 	// Verdicts holds each vantage's full decision, parallel to the
 	// reports passed to Summarize.
 	Verdicts []Verdict
+	// Evidence, when tracing was attached, is the causal backing for
+	// the ruling: the traced policing sites (node, cause, class) whose
+	// attributed drops and delay explain the measured differential.
+	Evidence EvidenceTrail
 }
 
 // DefaultAggregationThreshold is the outside detection fraction beyond
@@ -265,12 +269,17 @@ type Summary struct {
 const DefaultAggregationThreshold = 0.25
 
 // Summarize decides each report and aggregates across vantages.
-// minFraction <= 0 selects DefaultAggregationThreshold.
-func Summarize(reports []*Report, dcfg DecisionConfig, minFraction float64) Summary {
+// minFraction <= 0 selects DefaultAggregationThreshold. An optional
+// evidence trail (built by BuildEvidence from traced hop events) is
+// attached to the summary so a conviction carries its causal backing.
+func Summarize(reports []*Report, dcfg DecisionConfig, minFraction float64, evidence ...EvidenceTrail) Summary {
 	if minFraction <= 0 {
 		minFraction = DefaultAggregationThreshold
 	}
 	var s Summary
+	for _, t := range evidence {
+		s.Evidence = append(s.Evidence, t...)
+	}
 	s.Verdicts = make([]Verdict, len(reports))
 	for i, r := range reports {
 		v := Decide(r, dcfg)

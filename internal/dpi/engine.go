@@ -260,16 +260,16 @@ func (e *Engine) Hook() netem.TransitHook {
 		if p.RateBps > 0 && !e.buckets[class].allow(float64(len(pkt)*8), p.RateBps, p.BurstBits, nanos) {
 			e.policed[class]++
 			e.mu.Unlock()
-			return netem.Verdict{Drop: true}
+			return netem.Verdict{Drop: true, Cause: netem.CauseTokenBucket, Class: uint8(class)}
 		}
 		if p.DropProb > 0 && e.rng.Float64() < p.DropProb {
 			e.dropped[class]++
 			e.mu.Unlock()
-			return netem.Verdict{Drop: true}
+			return netem.Verdict{Drop: true, Cause: netem.CauseRandomDrop, Class: uint8(class)}
 		}
 		e.mu.Unlock()
 		if p.Delay > 0 {
-			return netem.Verdict{Delay: p.Delay}
+			return netem.Verdict{Delay: p.Delay, Cause: netem.CauseClassDelay, Class: uint8(class)}
 		}
 		return netem.Deliver
 	}

@@ -25,6 +25,7 @@ package eval
 
 import (
 	"fmt"
+	"math"
 	mathrand "math/rand"
 	"net/netip"
 	"time"
@@ -177,10 +178,16 @@ func (s *AuditStats) Cell(i AuditISP, m ArmsMode, st audit.Strategy) *AuditCell 
 	return nil
 }
 
+// auditDPIDelay is the per-packet hold the dpi throttlers add on top of
+// dropping: the policing delay the evidence trail must attribute, hop
+// for hop, to the transit engine (verifyAudit matches it against the
+// measured suspect-vs-control delay gap).
+const auditDPIDelay = 5 * time.Millisecond
+
 // auditPolicy builds the dpi enforcement for the given ISP behavior.
 func auditPolicy(kind AuditISP, naivePkts int) dpi.Policy {
 	var pol dpi.Policy
-	p := dpi.ClassPolicy{DropProb: 0.9}
+	p := dpi.ClassPolicy{DropProb: 0.9, Delay: auditDPIDelay}
 	switch kind {
 	case ISPDPIStealth:
 		p.TargetFraction = 0.6
@@ -300,6 +307,32 @@ func runAuditCell(cfg AuditConfig, kind AuditISP, mode ArmsMode, strat audit.Str
 				return nil, err
 			}
 			creds[idx] = cred{sh: sh, dst: dst}
+		}
+	}
+
+	// With observation attached, vantage 0's probe flows are tagged so
+	// the flight recorder keeps their journeys end to end: post-run, the
+	// attribution invariant (hop components sum exactly to end-to-end
+	// virtual delay) is enforced on those recorded spans, and the
+	// policing evidence trail is folded into the summary.
+	var taggedFlows map[uint64]bool
+	if o != nil {
+		taggedFlows = make(map[uint64]bool)
+		for role := 0; role < 2; role++ {
+			for t := 0; t < outPerPair; t++ {
+				src := f.Outside[outIdx(0, t, role)].Addr()
+				dst, proto := f.HostAddr(targetIdx(0, role)), uint8(wire.ProtoUDP)
+				if mode != ModePlaintext {
+					dst, proto = f.Spec.Anycast, wire.ProtoShim
+				}
+				k, err := netem.FlowKeyFrom(src, dst, proto)
+				if err != nil {
+					return nil, err
+				}
+				flow := netem.FlowKeyHash(k)
+				o.fr.Tag(flow)
+				taggedFlows[flow] = true
+			}
 		}
 	}
 
@@ -436,7 +469,17 @@ func runAuditCell(cfg AuditConfig, kind AuditISP, mode ArmsMode, strat audit.Str
 		}
 		reports = append(reports, r)
 	}
-	cell.Summary = audit.Summarize(reports, audit.DecisionConfig{}, 0)
+	var evidence []audit.EvidenceTrail
+	if o != nil {
+		evs := o.fr.Events()
+		if err := checkAttribution(evs, taggedFlows, o.fr.Evicted()); err != nil {
+			return nil, fmt.Errorf("eval: audit %v/%v/%v: %w", kind, mode, strat, err)
+		}
+		// keep == nil: every flow in the cell is probe traffic, so the
+		// whole recorded event set backs the conviction.
+		evidence = append(evidence, audit.BuildEvidence(evs, nil))
+	}
+	cell.Summary = audit.Summarize(reports, audit.DecisionConfig{}, 0, evidence...)
 	for vi := 0; vi < V; vi++ {
 		cell.SuspectGoodput += cell.Summary.Verdicts[vi].SuspectGoodput / float64(V)
 		cell.ControlGoodput += cell.Summary.Verdicts[vi].ControlGoodput / float64(V)
@@ -582,6 +625,43 @@ func verifyAudit(st *AuditStats) error {
 			fmt.Sprintf("probe-evading dpi vs naive bursts: power %.2f, want <= 0.10 (evasion defeats naive probing)", evEncNaive.Summary.Power)},
 		{evEncInt.Summary.Power >= 0.9,
 			fmt.Sprintf("probe-evading dpi vs interleaved probes: power %.2f, want >= 0.90 (long-lived app-shaped flows age past the whitelist)", evEncInt.Summary.Power)},
+	}
+	// With tracing attached, a conviction must carry its causal backing:
+	// a non-empty evidence trail whose attributed policing delay matches
+	// the delay gap the probes measured, while the neutral ISP's trail
+	// stays empty.
+	if dpiEncInt.Obs != nil {
+		ev := dpiEncInt.Summary.Evidence
+		var policed *audit.HopEvidence
+		for i := range ev {
+			if ev[i].Delayed > 0 && (policed == nil || ev[i].PolicyDelay > policed.PolicyDelay) {
+				policed = &ev[i]
+			}
+		}
+		checks = append(checks,
+			check{len(ev) > 0 && ev.TotalDrops() > 0,
+				fmt.Sprintf("blatant dpi conviction carries no drop evidence (%d sites, %d drops)", len(ev), ev.TotalDrops())},
+			check{policed != nil,
+				"blatant dpi conviction carries no policing-delay evidence"})
+		var gap float64
+		var n int
+		for vi := 0; vi < dpiEncInt.Summary.Outside; vi++ {
+			if v := &dpiEncInt.Summary.Verdicts[vi]; v.Discriminated {
+				gap += v.SuspectDelay - v.ControlDelay
+				n++
+			}
+		}
+		if policed != nil && n > 0 {
+			gap /= float64(n)
+			attr := policed.MeanDelay().Seconds()
+			checks = append(checks, check{gap > 0 && math.Abs(gap-attr) <= 0.5*attr,
+				fmt.Sprintf("attributed policing delay %.1fms does not explain measured delay gap %.1fms",
+					1e3*attr, 1e3*gap)})
+		}
+		if neutral := st.Cell(ISPNeutral, ModeEncrypted, audit.StrategyInterleaved); neutral != nil {
+			checks = append(checks, check{len(neutral.Summary.Evidence) == 0,
+				fmt.Sprintf("neutral ISP produced policing evidence (%d sites)", len(neutral.Summary.Evidence))})
+		}
 	}
 	for _, c := range checks {
 		if !c.ok {

@@ -359,11 +359,38 @@ func NewMetroBenchObserved(hosts, burst int) (*MetroBench, error) {
 	return m, nil
 }
 
+// NewMetroBenchTraced is NewMetroBench with always-on causal tracing
+// attached: the flight recorder's deterministic flow sampler records 1%
+// of flows end to end (every hop of every journey, what the span
+// assembler needs) while the rest head-sample at 1-in-64.
+// BenchmarkNetemMetroTrace prices this against the untraced metro run
+// on the identical workload (the trace_overhead_pct check in
+// scripts/benchjson).
+func NewMetroBenchTraced(hosts, burst int) (*MetroBench, error) {
+	m, err := NewMetroBench(hosts, burst)
+	if err != nil {
+		return nil, err
+	}
+	attachTracing(m.sim)
+	return m, nil
+}
+
 // AttachNeutralizerScratch wires a core.Neutralizer into a netem node on
 // the zero-allocation scratch path: shim packets delivered to the node
 // are processed and the outputs sent back into the fabric (which copies
-// them into pooled buffers before the next Reset).
+// them into pooled buffers before the next Reset). Processing is
+// instantaneous in virtual time; use AttachNeutralizerScratchProc to
+// model a per-packet processing cost.
 func AttachNeutralizerScratch(node *netem.Node, n *core.Neutralizer) {
+	AttachNeutralizerScratchProc(node, n, 0)
+}
+
+// AttachNeutralizerScratchProc is AttachNeutralizerScratch with a
+// per-packet virtual processing cost: each output packet enters the
+// fabric proc after its trigger arrived, and the time is attributed to
+// the journey's Proc trace component — the neutralizer's processing
+// share of end-to-end latency, visible to the span assembler.
+func AttachNeutralizerScratchProc(node *netem.Node, n *core.Neutralizer, proc time.Duration) {
 	s := core.NewScratch()
 	node.SetHandler(func(now time.Time, pkt []byte) {
 		s.Reset()
@@ -372,7 +399,10 @@ func AttachNeutralizerScratch(node *netem.Node, n *core.Neutralizer) {
 			return
 		}
 		for _, o := range outs {
-			_ = node.Send(o.Pkt)
+			if len(o.Pkt) < wire.IPv4HeaderLen {
+				continue
+			}
+			_ = node.SendPacketProc(node.NewPacket(o.Pkt), proc)
 		}
 	})
 }

@@ -29,6 +29,7 @@ import (
 	"netneutral/internal/e2e"
 	"netneutral/internal/endhost"
 	"netneutral/internal/netem"
+	"netneutral/internal/obs"
 	"netneutral/internal/simnet"
 	"netneutral/internal/wire"
 )
@@ -91,6 +92,22 @@ type RealProtoStats struct {
 	// HTTP request latencies, without and with a transit throttler
 	// targeting the suspect client.
 	Neutral, Throttled audit.Verdict
+	// NeutralTrace and ThrottledTrace summarize each audit cell's
+	// span-level verification: every packet journey is traced end to
+	// end (SampleEvery 1, no eviction), the attribution invariant is
+	// enforced exactly, and rule-attributed policy delay is tallied.
+	NeutralTrace, ThrottledTrace RealTraceCheck
+}
+
+// RealTraceCheck is the outcome of tracing one E10 audit cell wholesale.
+type RealTraceCheck struct {
+	// Journeys counts complete packet journeys that passed the
+	// attribution-sum invariant (components == end-to-end, exactly).
+	Journeys int
+	// Throttled counts journeys carrying rule-attributed policy delay;
+	// ThrottleDelay is that delay summed.
+	Throttled     int
+	ThrottleDelay time.Duration
 }
 
 // quietHTTPLog silences net/http's error logger: server-side noise would
@@ -388,7 +405,8 @@ func runRealHTTP(cfg RealProtoConfig) (*realHTTPResult, error) {
 // latencies standing in for probe delay samples. When
 // throttle is set, transit adds a constant 20ms to every packet from or
 // to the suspect client (constant, so FIFO ordering is preserved).
-func runRealAuditCell(seed int64, trials int, throttle bool) (audit.Verdict, error) {
+func runRealAuditCell(seed int64, trials int, throttle bool) (audit.Verdict, RealTraceCheck, error) {
+	var tc RealTraceCheck
 	// Rate-limited links make serialization delay depend on body size,
 	// which varies per trial — the within-role variance the
 	// Mann-Whitney test needs.
@@ -398,15 +416,20 @@ func runRealAuditCell(seed int64, trials int, throttle bool) (audit.Verdict, err
 		HostLink: link, EdgeLink: link, TransitLink: link, OutsideLink: link,
 	})
 	if err != nil {
-		return audit.Verdict{}, err
+		return audit.Verdict{}, tc, err
 	}
 	f := env.Fan
+	// Trace the cell wholesale: every emitted event recorded, ring big
+	// enough that nothing is evicted, so every journey is complete and
+	// the attribution invariant can be enforced with no tolerance.
+	fr := obs.NewFlightRecorder(obs.FlightConfig{SampleEvery: 1, RingSize: 1 << 16})
+	env.Sim.AttachFlightRecorder(fr)
 	suspect := f.OutsideAddr(int(audit.RoleSuspect))
 	if throttle {
 		f.Transit.AddTransitHook(func(_ time.Time, _ *netem.Node, pkt []byte) netem.Verdict {
 			src, dst, err := wire.IPv4Addrs(pkt)
 			if err == nil && (src == suspect || dst == suspect) {
-				return netem.Verdict{Delay: 20 * time.Millisecond}
+				return netem.Verdict{Delay: 20 * time.Millisecond, Cause: netem.CauseRule}
 			}
 			return netem.Deliver
 		})
@@ -415,7 +438,7 @@ func runRealAuditCell(seed int64, trials int, throttle bool) (audit.Verdict, err
 	n := simnet.New(env.Sim)
 	ln, err := n.ListenStream(f.Hosts[0], 80)
 	if err != nil {
-		return audit.Verdict{}, err
+		return audit.Verdict{}, tc, err
 	}
 	srv := &http.Server{ErrorLog: quietHTTPLog, Handler: http.HandlerFunc(
 		func(w http.ResponseWriter, r *http.Request) {
@@ -478,15 +501,65 @@ func runRealAuditCell(seed int64, trials int, throttle bool) (audit.Verdict, err
 		})
 	}
 	if err := n.Run(); err != nil {
-		return audit.Verdict{}, fmt.Errorf("audit cell: %w", err)
+		return audit.Verdict{}, tc, fmt.Errorf("audit cell: %w", err)
 	}
 	srv.Close()
 	for role, err := range roleErr {
 		if err != nil {
-			return audit.Verdict{}, fmt.Errorf("audit cell: role %d: %w", role, err)
+			return audit.Verdict{}, tc, fmt.Errorf("audit cell: role %d: %w", role, err)
 		}
 	}
-	return audit.Decide(&rep, audit.DecisionConfig{}), nil
+	tc, err = verifyRealTrace(fr)
+	if err != nil {
+		return audit.Verdict{}, tc, fmt.Errorf("audit cell: %w", err)
+	}
+	return audit.Decide(&rep, audit.DecisionConfig{}), tc, nil
+}
+
+// verifyRealTrace enforces the span contract over a fully-traced cell:
+// no ring eviction, attribution components summing exactly to
+// end-to-end virtual delay on every complete journey, and every
+// throttled complete journey's rule-attributed policy delay equal to
+// the 20ms the hook injected (one transit crossing per journey).
+// Journeys still in flight when the protocol goroutines finished (the
+// sim stops with them, not when the event heap drains) are legitimately
+// incomplete and skipped.
+func verifyRealTrace(fr *obs.FlightRecorder) (RealTraceCheck, error) {
+	var tc RealTraceCheck
+	if ev := fr.Evicted(); ev != 0 {
+		return tc, fmt.Errorf("flight ring evicted %d events; tracing was not lossless", ev)
+	}
+	for _, sp := range obs.AssembleSpans(fr.Events()) {
+		for i := range sp.Journeys {
+			j := &sp.Journeys[i]
+			if !j.Complete() {
+				continue
+			}
+			if sum, e2e := j.AttrSumNanos(), j.EndToEndNanos(); sum != e2e {
+				return tc, fmt.Errorf("attribution invariant: flow %016x journey %d: components sum to %dns, end-to-end delay %dns",
+					sp.Flow, j.ID, sum, e2e)
+			}
+			tc.Journeys++
+			var pol int64
+			for h := range j.Hops {
+				if j.Hops[h].Cause == uint8(netem.CauseRule) && j.Hops[h].PolicyNanos > 0 {
+					pol += j.Hops[h].PolicyNanos
+				}
+			}
+			if pol > 0 {
+				if pol != int64(20*time.Millisecond) {
+					return tc, fmt.Errorf("throttled journey %d of flow %016x attributed %dns of policy delay, want exactly 20ms",
+						j.ID, sp.Flow, pol)
+				}
+				tc.Throttled++
+				tc.ThrottleDelay += time.Duration(pol)
+			}
+		}
+	}
+	if tc.Journeys == 0 {
+		return tc, fmt.Errorf("no journeys traced")
+	}
+	return tc, nil
 }
 
 // RunRealProto runs all three E10 phases.
@@ -506,10 +579,10 @@ func RunRealProto(cfg RealProtoConfig) (*RealProtoStats, error) {
 	}
 	st.HTTP = *httpRes
 
-	if st.Neutral, err = runRealAuditCell(cfg.Seed+3, cfg.Trials, false); err != nil {
+	if st.Neutral, st.NeutralTrace, err = runRealAuditCell(cfg.Seed+3, cfg.Trials, false); err != nil {
 		return nil, err
 	}
-	if st.Throttled, err = runRealAuditCell(cfg.Seed+4, cfg.Trials, true); err != nil {
+	if st.Throttled, st.ThrottledTrace, err = runRealAuditCell(cfg.Seed+4, cfg.Trials, true); err != nil {
 		return nil, err
 	}
 	return st, nil
@@ -544,6 +617,15 @@ func (st *RealProtoStats) Enforce() error {
 		{st.Throttled.Discriminated && st.Throttled.DelayHit,
 			fmt.Sprintf("20ms targeted throttle not detected (delay MW p=%.4f, delay gap %.2f)",
 				st.Throttled.DelayMW.P, st.Throttled.DelayGap)},
+		{st.NeutralTrace.Journeys > 0 && st.NeutralTrace.Throttled == 0,
+			fmt.Sprintf("neutral cell trace: %d journeys, %d carrying policy delay (want >0, 0)",
+				st.NeutralTrace.Journeys, st.NeutralTrace.Throttled)},
+		{st.ThrottledTrace.Throttled > 0,
+			fmt.Sprintf("throttled cell trace: no journey carries rule-attributed policy delay (%d journeys)",
+				st.ThrottledTrace.Journeys)},
+		{st.ThrottledTrace.ThrottleDelay == time.Duration(st.ThrottledTrace.Throttled)*20*time.Millisecond,
+			fmt.Sprintf("throttled cell trace: attributed %v over %d throttled journeys, want exactly 20ms each",
+				st.ThrottledTrace.ThrottleDelay, st.ThrottledTrace.Throttled)},
 	}
 	for _, c := range checks {
 		if !c.ok {
@@ -604,5 +686,9 @@ func RunE10() (*Result, error) {
 		{Metric: "audit verdict: 20ms targeted throttle", Paper: "detected",
 			Measured: fmt.Sprintf("discriminated=%v (delay gap %.1fx)", st.Throttled.Discriminated, st.Throttled.DelayGap),
 			Note:     fmt.Sprintf("delay MW p=%.2g", st.Throttled.DelayMW.P)},
+		{Metric: "trace attribution invariant", Paper: "-",
+			Measured: fmt.Sprintf("%d journeys exact", st.NeutralTrace.Journeys+st.ThrottledTrace.Journeys),
+			Note: fmt.Sprintf("%d throttled journeys each attributed exactly 20ms of rule-caused delay",
+				st.ThrottledTrace.Throttled)},
 	}}, nil
 }

@@ -12,6 +12,7 @@ package eval
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 	"time"
 
@@ -43,6 +44,21 @@ func attachObservation(sim *netem.Simulator) *observation {
 	fr.Register(sim.Metrics())
 	sim.AttachFlightRecorder(fr)
 	return &observation{rec: rec, fr: fr}
+}
+
+// attachTracing puts a deployment-shaped tracing recorder on sim: the
+// deterministic flow sampler records every event of 1% of flows (the
+// end-to-end journeys the span assembler consumes), and the remaining
+// flows fall back to 1-in-64 head sampling. This is the always-on
+// tracing posture the trace_overhead_pct benchmark check prices against
+// the untraced metro run.
+func attachTracing(sim *netem.Simulator) *obs.FlightRecorder {
+	fr := obs.NewFlightRecorder(obs.FlightConfig{
+		SampleEvery: 64, RingSize: 4096, SampleFlows: 0.01,
+	})
+	fr.Register(sim.Metrics())
+	sim.AttachFlightRecorder(fr)
+	return fr
 }
 
 // ObsDigest condenses what a run's observers recorded. Two observed
@@ -94,9 +110,18 @@ func (o *observation) digest() ObsDigest {
 	for _, e := range evs {
 		h.u64(uint64(e.TimeNanos))
 		h.u64(e.Flow)
+		h.u64(e.Journey)
 		h.u64(e.Seq)
 		h.u64(uint64(uint32(e.Node))<<32 | uint64(uint32(e.Shard)))
 		h.u64(uint64(uint32(e.Size))<<8 | uint64(e.Kind))
+		// Span coverage: the per-hop attribution components and their
+		// cause must replay bit-identically too.
+		h.u64(uint64(e.QueueNanos))
+		h.u64(uint64(e.SerializeNanos))
+		h.u64(uint64(e.PropagateNanos))
+		h.u64(uint64(e.PolicyNanos))
+		h.u64(uint64(e.ProcNanos))
+		h.u64(uint64(e.Cause)<<8 | uint64(e.Class))
 	}
 	d.FlightHash = h.sum()
 
@@ -115,6 +140,56 @@ func (o *observation) digest() ObsDigest {
 	}
 	d.FinalHash = h.sum()
 	return d
+}
+
+// checkAttribution enforces the span attribution invariant on the
+// flight recorder's merged events: every tagged-flow journey that was
+// recorded end to end and lies wholly past the ring-eviction horizon
+// must have its attributed components (queue, serialize, propagate,
+// policy, proc) sum *exactly* — not approximately — to its end-to-end
+// virtual delay. tagged == nil checks every flow. At least one journey
+// must actually be checked, so the invariant cannot pass vacuously.
+func checkAttribution(evs []obs.TraceRec, tagged map[uint64]bool, evicted uint64) error {
+	// Eviction discards each stripe's oldest events, which can silently
+	// clip a journey's middle hops while leaving its endpoints intact.
+	// Only journeys starting at or after the horizon — the latest
+	// per-stripe earliest retained timestamp — are provably unclipped.
+	var horizon int64
+	if evicted > 0 {
+		earliest := make(map[int32]int64)
+		for i := range evs {
+			e := &evs[i]
+			if t, ok := earliest[e.Shard]; !ok || e.TimeNanos < t {
+				earliest[e.Shard] = e.TimeNanos
+			}
+		}
+		for _, t := range earliest {
+			if t > horizon {
+				horizon = t
+			}
+		}
+	}
+	checked := 0
+	for _, sp := range obs.AssembleSpans(evs) {
+		if tagged != nil && !tagged[sp.Flow] {
+			continue
+		}
+		for i := range sp.Journeys {
+			j := &sp.Journeys[i]
+			if !j.Complete() || j.Hops[0].TimeNanos < horizon {
+				continue
+			}
+			if sum, e2e := j.AttrSumNanos(), j.EndToEndNanos(); sum != e2e {
+				return fmt.Errorf("attribution invariant: flow %016x journey %d: components sum to %dns, end-to-end delay %dns",
+					sp.Flow, j.ID, sum, e2e)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("attribution invariant: no complete tagged journey survived to check (evicted=%d)", evicted)
+	}
+	return nil
 }
 
 // key flattens the digest for identity-key comparison.

@@ -237,7 +237,7 @@ func (p *Policy) Hook() netem.TransitHook {
 				continue
 			}
 			p.hits[r.Name]++
-			v := netem.Verdict{Delay: r.Action.Delay, DSCP: r.Action.RemarkDSCP}
+			v := netem.Verdict{Delay: r.Action.Delay, DSCP: r.Action.RemarkDSCP, Cause: netem.CauseRule}
 			if r.Action.DropProb > 0 && p.rng.Float64() < r.Action.DropProb {
 				v.Drop = true
 			}

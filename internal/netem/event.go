@@ -15,6 +15,7 @@ const (
 	evArrive                   // pkt arrives at node (link propagation done)
 	evDepart                   // dir finished serializing its current packet
 	evDelayed                  // policy-delayed pkt resumes dispatch at node
+	evProc                     // processing-delayed pkt originates at node
 )
 
 type event struct {
@@ -97,5 +98,7 @@ func (sh *shard) dispatchEvent(ev *event) {
 		ev.dir.depart(ev.pkt)
 	case evDelayed:
 		_ = ev.node.dispatchAfterPolicy(ev.pkt, false)
+	case evProc:
+		_ = ev.node.dispatch(ev.pkt, true)
 	}
 }

@@ -152,7 +152,8 @@ func (l *Link) SetQueue(from *Node, q Queue) error {
 		if !q.Enqueue(p) {
 			d.dropped++
 			d.from.sh.mLinkQDrop.Inc()
-			d.from.sh.emit(TraceDropQueue, from, p.Pkt)
+			p.cause = CauseQueueFull
+			d.from.sh.emit(TraceDropQueue, from, p)
 			p.Release()
 		}
 	}
@@ -209,7 +210,8 @@ func (l *Link) transmit(from *Node, p *Packet) {
 	if !d.queue.Enqueue(p) {
 		d.dropped++
 		sh.mLinkQDrop.Inc()
-		sh.emit(TraceDropQueue, from, p.Pkt)
+		p.cause = CauseQueueFull
+		sh.emit(TraceDropQueue, from, p)
 		p.Release()
 		return
 	}
@@ -233,6 +235,8 @@ func (d *linkDir) startTransmission() {
 		serialize = time.Duration(math.Round(sec * float64(time.Second)))
 	}
 	sh := d.from.sh
+	p.attrQueue += int64(sh.now.Sub(p.Arrived))
+	p.attrSer += int64(serialize)
 	sh.schedule(sh.now.Add(serialize), event{kind: evDepart, dir: d, pkt: p})
 }
 
@@ -245,6 +249,7 @@ func (d *linkDir) depart(p *Packet) {
 	d.sent++
 	d.from.sh.mLinkTx.Inc()
 	src, dst := d.from.sh, d.to.sh
+	p.attrProp += int64(d.cfg.Delay)
 	at := src.now.Add(d.cfg.Delay)
 	ev := event{kind: evArrive, node: d.to, pkt: p}
 	if dst == src {

@@ -145,6 +145,13 @@ func FlowHash(pkt []byte) uint64 {
 	if !ok {
 		return 0
 	}
+	return FlowKeyHash(k)
+}
+
+// FlowKeyHash maps a canonical FlowKey to the same 64-bit flow id
+// FlowHash computes from packet bytes — how harnesses name the flows
+// they tag or trace without constructing packets.
+func FlowKeyHash(k FlowKey) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211

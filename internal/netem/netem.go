@@ -56,6 +56,40 @@ var (
 	ErrMalformedIPv4 = errors.New("netem: malformed IPv4 packet")
 )
 
+// PolicyCause labels the mechanism behind a policy verdict or drop, so
+// trace events are attributable without correlating against policy
+// counters by hand.
+type PolicyCause uint8
+
+// Policy causes carried on verdicts and trace events.
+const (
+	CauseNone        PolicyCause = iota
+	CauseRule                    // rule-list match (package isp)
+	CauseTokenBucket             // per-class rate policing (package dpi)
+	CauseRandomDrop              // probabilistic per-class drop (package dpi)
+	CauseClassDelay              // per-class added delay (package dpi)
+	CauseQueueFull               // link egress queue overflow
+)
+
+func (c PolicyCause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseRule:
+		return "rule"
+	case CauseTokenBucket:
+		return "token-bucket"
+	case CauseRandomDrop:
+		return "random-drop"
+	case CauseClassDelay:
+		return "class-delay"
+	case CauseQueueFull:
+		return "queue-full"
+	default:
+		return fmt.Sprintf("cause(%d)", uint8(c))
+	}
+}
+
 // Verdict is a transit hook's decision about a packet.
 type Verdict struct {
 	// Drop discards the packet.
@@ -65,6 +99,12 @@ type Verdict struct {
 	// DSCP, when non-nil, remarks the packet's DSCP (a discriminatory ISP
 	// deprioritizing traffic it cannot read).
 	DSCP *uint8
+	// Cause and Class attribute the verdict for tracing: which policing
+	// mechanism produced it and which traffic class it targeted (dpi
+	// class numbering; 0 when classless). Both ride onto the packet's
+	// next trace event.
+	Cause PolicyCause
+	Class uint8
 }
 
 // Deliver is the zero Verdict: pass the packet unchanged.
@@ -117,12 +157,47 @@ func (k TraceKind) String() string {
 	}
 }
 
+// HopAttr decomposes the virtual time between consecutive trace events
+// of one packet journey into its physical and policy components. Every
+// event carries exactly the components that elapsed since the journey's
+// previous event, so summing them across a complete journey reproduces
+// the end-to-end delivery delay exactly (the attribution invariant).
+type HopAttr struct {
+	// Queue is time spent waiting in link egress queues.
+	Queue time.Duration
+	// Serialize is link transmission (size/rate) time.
+	Serialize time.Duration
+	// Propagate is link propagation delay.
+	Propagate time.Duration
+	// Policy is delay imposed by transit-hook verdicts.
+	Policy time.Duration
+	// Proc is endpoint processing time (Node.SendPacketProc).
+	Proc time.Duration
+	// Cause and Class attribute the Policy component (or the drop, on
+	// drop events) to the responsible mechanism and traffic class.
+	Cause PolicyCause
+	Class uint8
+}
+
+// Total sums the attributed components.
+func (a HopAttr) Total() time.Duration {
+	return a.Queue + a.Serialize + a.Propagate + a.Policy + a.Proc
+}
+
 // TraceEvent describes one packet event for observers.
 type TraceEvent struct {
 	Kind TraceKind
 	Time time.Time
 	Node *Node
 	Pkt  []byte
+	// Flow is the packet's keyed flow hash (FlowHash); Journey identifies
+	// the pooled packet's journey, stamped at origination — worker-count
+	// independent, so span assembly is replay-stable.
+	Flow    uint64
+	Journey uint64
+	// Attr is the delay attribution accumulated since the journey's
+	// previous trace event.
+	Attr HopAttr
 }
 
 // TraceHook observes packet events. Pkt is a no-copy view; it must not be
@@ -416,8 +491,29 @@ func (n *Node) SendPacket(p *Packet) error {
 		p.Release()
 		return ErrMalformedIPv4
 	}
-	n.sh.emit(TraceSend, n, p.Pkt)
+	n.sh.stampJourney(p)
+	n.sh.emit(TraceSend, n, p)
 	return n.dispatch(p, true)
+}
+
+// SendPacketProc originates a pooled packet after proc of virtual
+// processing time, attributing that time to the journey's Proc
+// component — how the neutralizer's scratch path accounts for per-packet
+// processing cost. The journey's send event fires now; the packet enters
+// the network proc later. proc <= 0 degenerates to SendPacket.
+func (n *Node) SendPacketProc(p *Packet, proc time.Duration) error {
+	if proc <= 0 {
+		return n.SendPacket(p)
+	}
+	if len(p.Pkt) < wire.IPv4HeaderLen {
+		p.Release()
+		return ErrMalformedIPv4
+	}
+	n.sh.stampJourney(p)
+	n.sh.emit(TraceSend, n, p)
+	p.attrProc += int64(proc)
+	n.sh.schedule(n.sh.now.Add(proc), event{kind: evProc, node: n, pkt: p})
+	return nil
 }
 
 // dispatch delivers locally or forwards toward the destination. origin
@@ -431,21 +527,26 @@ func (n *Node) dispatch(p *Packet, origin bool) error {
 	if !origin {
 		// Transit/ingress policy.
 		var delay time.Duration
+		var cause PolicyCause
+		var class uint8
 		for _, h := range n.hooks {
 			v := h(n.sh.now, n, p.Pkt)
 			if v.Drop {
-				n.sh.emit(TraceDropPolicy, n, p.Pkt)
+				p.cause, p.class = v.Cause, v.Class
+				n.sh.emit(TraceDropPolicy, n, p)
 				p.Release()
 				return nil
 			}
 			if v.Delay > delay {
-				delay = v.Delay
+				delay, cause, class = v.Delay, v.Cause, v.Class
 			}
 			if v.DSCP != nil {
 				remarkDSCP(p.Pkt, *v.DSCP)
 			}
 		}
 		if delay > 0 {
+			p.attrPolicy += int64(delay)
+			p.cause, p.class = cause, class
 			n.sh.schedule(n.sh.now.Add(delay), event{kind: evDelayed, node: n, pkt: p})
 			return nil
 		}
@@ -479,7 +580,7 @@ func (n *Node) dispatchAfterPolicy(p *Packet, origin bool) error {
 	// Forward.
 	link := n.lookupRoute(dst)
 	if link == nil {
-		n.sh.emit(TraceDropNoRoute, n, p.Pkt)
+		n.sh.emit(TraceDropNoRoute, n, p)
 		p.Release()
 		return ErrNoRoute
 	}
@@ -490,11 +591,11 @@ func (n *Node) dispatchAfterPolicy(p *Packet, origin bool) error {
 			return ErrMalformedIPv4
 		}
 		if !alive {
-			n.sh.emit(TraceDropTTL, n, p.Pkt)
+			n.sh.emit(TraceDropTTL, n, p)
 			p.Release()
 			return ErrTTLExhausted
 		}
-		n.sh.emit(TraceForward, n, p.Pkt)
+		n.sh.emit(TraceForward, n, p)
 	}
 	link.transmit(n, p)
 	return nil
@@ -503,7 +604,7 @@ func (n *Node) dispatchAfterPolicy(p *Packet, origin bool) error {
 // deliver hands the packet to the local handler, then releases the
 // buffer: handler views are only valid during the call.
 func (n *Node) deliver(p *Packet) {
-	n.sh.emit(TraceDeliver, n, p.Pkt)
+	n.sh.emit(TraceDeliver, n, p)
 	if n.handler != nil {
 		n.handler(n.sh.now, p.Pkt)
 	}

@@ -39,6 +39,33 @@ type Packet struct {
 	refs int32
 	pool *packetPool // pool Release pushes to: the shard the packet is on
 	home *packetPool // pool that allocated the buffer (owns it at rest)
+
+	// Per-journey delay attribution, accumulated in nanoseconds since the
+	// journey's previous trace event; shard.emit snapshots and resets the
+	// accumulators, so each hop event carries exactly the components that
+	// elapsed since the one before it. journey is the id stamped at
+	// SendPacket (a pure function of the originating shard's sequence,
+	// never of the worker count).
+	attrQueue, attrSer, attrProp, attrPolicy, attrProc int64
+	cause                                              PolicyCause
+	class                                              uint8
+	journey                                            uint64
+	// flow caches FlowHash(Pkt), computed at the journey's first trace
+	// emission (0 = not yet computed). Flow identity is stable for a
+	// packet's whole journey — in-flight policing only remarks DSCP, and
+	// address rewrites go through new packets — so later hops skip the
+	// header parse and hash.
+	flow uint64
+}
+
+// flowID returns the packet's flow hash, computing and caching it on
+// first use. Packets too short for an IPv4 header hash to 0 and
+// recompute harmlessly.
+func (p *Packet) flowID() uint64 {
+	if p.flow == 0 {
+		p.flow = FlowHash(p.Pkt)
+	}
+	return p.flow
 }
 
 // QueuedPacket is the historical name for a packet sitting in a link
@@ -117,6 +144,9 @@ func (pp *packetPool) get(n int) *Packet {
 	p.Size = n
 	p.DSCP = 0
 	p.refs = 1
+	p.attrQueue, p.attrSer, p.attrProp, p.attrPolicy, p.attrProc = 0, 0, 0, 0, 0
+	p.cause, p.class, p.journey = 0, 0, 0
+	p.flow = 0
 	return p
 }
 

@@ -351,10 +351,13 @@ func (s *Simulator) flushTraces() {
 	for _, fr := range recs {
 		sh := s.shards[fr.shard]
 		ev := TraceEvent{
-			Kind: fr.rec.kind,
-			Time: fr.rec.at,
-			Node: fr.rec.node,
-			Pkt:  sh.traceBytes[fr.rec.off : fr.rec.off+fr.rec.n],
+			Kind:    fr.rec.kind,
+			Time:    fr.rec.at,
+			Node:    fr.rec.node,
+			Pkt:     sh.traceBytes[fr.rec.off : fr.rec.off+fr.rec.n],
+			Flow:    fr.rec.flow,
+			Journey: fr.rec.journey,
+			Attr:    fr.rec.attr,
 		}
 		for _, h := range s.traces {
 			h(ev)

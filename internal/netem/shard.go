@@ -60,6 +60,10 @@ type shard struct {
 	traceBuf   []traceRec
 	traceBytes []byte
 	traceSeq   uint64
+	// journeySeq numbers the packet journeys this shard originates; with
+	// the shard id it forms the journey id — a pure function of the
+	// topology and seed, never of the worker count.
+	journeySeq uint64
 }
 
 // remoteEvent is a cross-shard event staged in an outbox, tagged with
@@ -71,12 +75,15 @@ type remoteEvent struct {
 
 // traceRec is one buffered trace emission.
 type traceRec struct {
-	at   time.Time
-	seq  uint64
-	node *Node
-	kind TraceKind
-	off  int // into traceBytes
-	n    int
+	at      time.Time
+	seq     uint64
+	node    *Node
+	kind    TraceKind
+	off     int // into traceBytes
+	n       int
+	flow    uint64
+	journey uint64
+	attr    HopAttr
 }
 
 // splitmix64 is the SplitMix64 mixing function: the standard way to
@@ -238,8 +245,18 @@ func (sh *shard) sendRemote(dst *shard, at time.Time, ev event) {
 	sh.outbox[dst.id] = append(sh.outbox[dst.id], remoteEvent{ev: ev, src: int32(sh.id)})
 }
 
-// emit counts and traces one packet event on the shard.
-func (sh *shard) emit(kind TraceKind, node *Node, pkt []byte) {
+// stampJourney assigns the packet its journey id at origination.
+func (sh *shard) stampJourney(p *Packet) {
+	sh.journeySeq++
+	p.journey = uint64(sh.id)<<48 | sh.journeySeq
+}
+
+// emit counts and traces one packet event on the shard. It snapshots the
+// packet's attribution accumulators — the delay components that elapsed
+// since the journey's previous event — and resets them, so components
+// are per-hop deltas whose journey sum equals the end-to-end delay
+// exactly.
+func (sh *shard) emit(kind TraceKind, node *Node, p *Packet) {
 	switch {
 	case kind == TraceDeliver:
 		sh.mDelivered.Inc()
@@ -248,17 +265,33 @@ func (sh *shard) emit(kind TraceKind, node *Node, pkt []byte) {
 	case kind >= TraceDropQueue:
 		sh.mDropped.Inc()
 	}
+	attr := HopAttr{
+		Queue:     time.Duration(p.attrQueue),
+		Serialize: time.Duration(p.attrSer),
+		Propagate: time.Duration(p.attrProp),
+		Policy:    time.Duration(p.attrPolicy),
+		Proc:      time.Duration(p.attrProc),
+		Cause:     p.cause,
+		Class:     p.class,
+	}
+	p.attrQueue, p.attrSer, p.attrProp, p.attrPolicy, p.attrProc = 0, 0, 0, 0, 0
+	p.cause, p.class = 0, 0
 	// Flight recorder: deterministic head sampling on the shard's own
 	// event sequence; the flow hash is only computed when the event is
-	// sampled or flow tags could match it.
+	// sampled or per-flow selection (tags, flow-keyed sampling) could
+	// match it, and it is cached on the packet for the journey's
+	// remaining hops.
 	if st := sh.flight; st != nil {
 		take := st.Sample()
-		if take || st.Tagged() {
-			flow := FlowHash(pkt)
-			if take || st.TaggedFlow(flow) {
+		if take || st.FlowAware() {
+			flow := p.flowID()
+			if take || st.WantFlow(flow) {
 				st.Record(obs.TraceRec{
-					TimeNanos: sh.now.UnixNano(), Flow: flow,
-					Node: int32(node.id), Size: int32(len(pkt)), Kind: uint8(kind),
+					TimeNanos: sh.now.UnixNano(), Flow: flow, Journey: p.journey,
+					Node: int32(node.id), Size: int32(len(p.Pkt)), Kind: uint8(kind),
+					QueueNanos: int64(attr.Queue), SerializeNanos: int64(attr.Serialize),
+					PropagateNanos: int64(attr.Propagate), PolicyNanos: int64(attr.Policy),
+					ProcNanos: int64(attr.Proc), Cause: uint8(attr.Cause), Class: attr.Class,
 				})
 			}
 		}
@@ -270,7 +303,8 @@ func (sh *shard) emit(kind TraceKind, node *Node, pkt []byte) {
 	if !s.running {
 		// Single-shard runs and setup-time emissions: hooks fire live,
 		// exactly as the serial engine always has.
-		ev := TraceEvent{Kind: kind, Time: sh.now, Node: node, Pkt: pkt}
+		ev := TraceEvent{Kind: kind, Time: sh.now, Node: node, Pkt: p.Pkt,
+			Flow: p.flowID(), Journey: p.journey, Attr: attr}
 		for _, h := range s.traces {
 			h(ev)
 		}
@@ -279,8 +313,9 @@ func (sh *shard) emit(kind TraceKind, node *Node, pkt []byte) {
 	// Parallel run: buffer (bytes copied — the pooled buffer is recycled
 	// before the barrier) and fire in merged order at the epoch barrier.
 	off := len(sh.traceBytes)
-	sh.traceBytes = append(sh.traceBytes, pkt...)
+	sh.traceBytes = append(sh.traceBytes, p.Pkt...)
 	sh.traceSeq++
 	sh.traceBuf = append(sh.traceBuf, traceRec{
-		at: sh.now, seq: sh.traceSeq, node: node, kind: kind, off: off, n: len(pkt)})
+		at: sh.now, seq: sh.traceSeq, node: node, kind: kind, off: off, n: len(p.Pkt),
+		flow: p.flowID(), journey: p.journey, attr: attr})
 }

@@ -19,6 +19,11 @@ import (
 type FlightRecorder struct {
 	sampleEvery uint64
 	ringSize    int
+	// flowAll / flowBar implement flow-keyed sampling: record every
+	// event whose flow hash is below flowBar (flowAll short-circuits the
+	// comparison for fraction 1).
+	flowAll bool
+	flowBar uint64
 
 	mu      sync.Mutex
 	stripes []*FlightStripe
@@ -34,15 +39,28 @@ type FlightConfig struct {
 	// RingSize bounds each stripe's ring in events (default 4096); old
 	// events are evicted, counted, never blocking.
 	RingSize int
+	// SampleFlows, in (0, 1], selects a deterministic fraction of flows
+	// whose every event is recorded, keyed on the flow hash itself
+	// (flow < fraction·2^64) — so the selected set is a pure function of
+	// flow identity, bit-identical at any worker count. 1 records every
+	// flow ("all" tracing); 0 (the default) disables flow-keyed
+	// sampling. Composes with head sampling and tags.
+	SampleFlows float64
 }
 
-// TraceRec is one sampled packet event.
+// TraceRec is one sampled packet event with per-hop delay attribution:
+// the *_ns components decompose the virtual time since the journey's
+// previous event, so summing them over a fully recorded journey yields
+// the end-to-end delay exactly.
 type TraceRec struct {
 	// TimeNanos is the virtual time of the event.
 	TimeNanos int64 `json:"ts"`
 	// Flow is the keyed flow hash (netem computes it from the canonical
 	// FlowKey); 0 if the packet had no parseable flow.
 	Flow uint64 `json:"flow"`
+	// Journey identifies the packet journey the event belongs to,
+	// stamped at origination.
+	Journey uint64 `json:"journey"`
 	// Seq is the stripe-local emission sequence (merge tiebreaker).
 	Seq uint64 `json:"seq"`
 	// Node is the stable node id where the event fired.
@@ -53,6 +71,23 @@ type TraceRec struct {
 	Size int32 `json:"size"`
 	// Kind is the trace kind (netem.TraceKind numbering).
 	Kind uint8 `json:"kind"`
+	// QueueNanos..ProcNanos attribute the delay since the journey's
+	// previous event: egress-queue wait, link serialization, link
+	// propagation, policy-imposed delay, endpoint processing.
+	QueueNanos     int64 `json:"queue_ns"`
+	SerializeNanos int64 `json:"ser_ns"`
+	PropagateNanos int64 `json:"prop_ns"`
+	PolicyNanos    int64 `json:"policy_ns"`
+	ProcNanos      int64 `json:"proc_ns"`
+	// Cause and Class attribute the policy component (netem.PolicyCause
+	// numbering / dpi class numbering).
+	Cause uint8 `json:"cause,omitempty"`
+	Class uint8 `json:"class,omitempty"`
+}
+
+// AttrTotalNanos sums the attributed delay components.
+func (r *TraceRec) AttrTotalNanos() int64 {
+	return r.QueueNanos + r.SerializeNanos + r.PropagateNanos + r.PolicyNanos + r.ProcNanos
 }
 
 // NewFlightRecorder creates a flight recorder.
@@ -63,11 +98,18 @@ func NewFlightRecorder(cfg FlightConfig) *FlightRecorder {
 	if cfg.RingSize <= 0 {
 		cfg.RingSize = 4096
 	}
-	return &FlightRecorder{
+	f := &FlightRecorder{
 		sampleEvery: uint64(cfg.SampleEvery),
 		ringSize:    cfg.RingSize,
 		tags:        make(map[uint64]struct{}),
 	}
+	switch {
+	case cfg.SampleFlows >= 1:
+		f.flowAll = true
+	case cfg.SampleFlows > 0:
+		f.flowBar = uint64(cfg.SampleFlows * float64(^uint64(0)))
+	}
+	return f
 }
 
 // Tag marks a flow hash as always-recorded. Call during setup, before
@@ -125,6 +167,23 @@ func (st *FlightStripe) Sample() bool {
 // caller can skip flow hashing when the event is unsampled and no tags
 // are registered).
 func (st *FlightStripe) Tagged() bool { return st.tagged }
+
+// FlowAware reports whether any per-flow selection — tags or flow-keyed
+// sampling — exists, so callers can skip flow hashing entirely when the
+// event lost head sampling and no flow could rescue it.
+func (st *FlightStripe) FlowAware() bool {
+	return st.tagged || st.fr.flowAll || st.fr.flowBar > 0
+}
+
+// WantFlow reports whether per-flow selection records events of flow:
+// flow-keyed sampling (a deterministic threshold on the hash) or an
+// explicit tag.
+func (st *FlightStripe) WantFlow(flow uint64) bool {
+	if st.fr.flowAll || flow < st.fr.flowBar {
+		return true
+	}
+	return st.TaggedFlow(flow)
+}
 
 // TaggedFlow reports whether the given flow hash is tagged.
 func (st *FlightStripe) TaggedFlow(flow uint64) bool {

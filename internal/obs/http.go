@@ -13,6 +13,8 @@ import (
 //	/metrics.json  JSON snapshot (ts + merged metric values)
 //	/stream        NDJSON frames, one per published tick (backpressured)
 //	/flight.json   merged flight-recorder events (if attached)
+//	/trace.json    assembled spans as Chrome trace-event JSON (Perfetto)
+//	/trace         merged trace events as NDJSON
 //	/debug/pprof/  the standard pprof handlers
 //
 // The Source abstracts where snapshots come from: a live *Registry for
@@ -80,6 +82,14 @@ func NewHandler(cfg HandlerConfig) *http.ServeMux {
 		mux.HandleFunc("/flight.json", func(w http.ResponseWriter, req *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(cfg.Flight.Events())
+		})
+		mux.HandleFunc("/trace.json", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteChromeTrace(w, AssembleSpans(cfg.Flight.Events()))
+		})
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = WriteTraceNDJSON(w, cfg.Flight.Events())
 		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

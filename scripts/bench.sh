@@ -12,14 +12,15 @@
 # plane and sharded netem engine) are only enforced on hosts with >= 4
 # CPUs (see scripts/benchjson). The netem engine benchmarks
 # (NetemForward zero-alloc forwarding, NetemMetro 10k-host fan-out,
-# NetemMetroObs with the observation plane live, NetemMetroParallel
-# worker sweep) record sim events/sec and packets/sec alongside the
-# data-plane numbers; ObsInc prices one metric increment and must stay
-# zero-alloc.
+# NetemMetroObs with the observation plane live, NetemMetroTrace with
+# 1% of flows traced end to end, NetemMetroParallel worker sweep) record sim
+# events/sec and packets/sec alongside the data-plane numbers; ObsInc
+# prices one metric increment and TraceOff prices forwarding with delay
+# attribution armed but no recorder — both must stay zero-alloc.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-DataPath|ProcessBatch|KeySetup$|VanillaForward|CryptoOps|NetemForward|NetemMetro$|NetemMetroObs$|NetemMetroParallel|ObsInc$|DPIFeatureUpdate|DPIClassify|CloakFrame|AuditTrial|AuditReportCodec|SimnetUDPEcho}"
+BENCH="${BENCH:-DataPath|ProcessBatch|KeySetup$|VanillaForward|CryptoOps|NetemForward|NetemMetro$|NetemMetroObs$|NetemMetroTrace$|NetemMetroParallel|ObsInc$|TraceOff$|DPIFeatureUpdate|DPIClassify|CloakFrame|AuditTrial|AuditReportCodec|SimnetUDPEcho}"
 BENCHTIME="${BENCHTIME:-5000x}"
 GIT="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
 OUT="${OUT:-BENCH_${GIT}.json}"

@@ -27,7 +27,12 @@
 // (one counter-stripe increment) must be zero-alloc
 // (obs_inc_zero_alloc), and BenchmarkNetemMetroObs — the metro run with
 // the epoch recorder and flight recorder live — must stay within 5% of
-// BenchmarkNetemMetro's events/s (obs_overhead_pct).
+// BenchmarkNetemMetro's events/s (obs_overhead_pct). The causal-tracing
+// plane adds two more: BenchmarkTraceOff (forwarding with per-hop delay
+// attribution armed but no recorder attached) must be zero-alloc
+// (trace_off_zero_alloc), and BenchmarkNetemMetroTrace — the metro run
+// with 1% of flows traced end to end — must also stay within 5% of the
+// untraced run's events/s (trace_overhead_pct).
 package main
 
 import (
@@ -183,7 +188,7 @@ func ptr(v float64) *float64 { return &v }
 // evalChecks records the acceptance checks for the zero-alloc sharded
 // data plane.
 func evalChecks(rep *Report) {
-	var batch, fwd, metro, metroObs, obsInc, dpiClassify, dpiUpdate, cloakFrame, auditTrial, simnetEcho *Bench
+	var batch, fwd, metro, metroObs, metroTrace, traceOff, obsInc, dpiClassify, dpiUpdate, cloakFrame, auditTrial, simnetEcho *Bench
 	rates := map[string]float64{}
 	parRates := map[string]float64{}
 	for i, b := range rep.Benchmarks {
@@ -198,6 +203,12 @@ func evalChecks(rep *Report) {
 		}
 		if b.Name == "BenchmarkNetemMetroObs" {
 			metroObs = &rep.Benchmarks[i]
+		}
+		if b.Name == "BenchmarkNetemMetroTrace" {
+			metroTrace = &rep.Benchmarks[i]
+		}
+		if b.Name == "BenchmarkTraceOff" {
+			traceOff = &rep.Benchmarks[i]
 		}
 		if b.Name == "BenchmarkObsInc" {
 			obsInc = &rep.Benchmarks[i]
@@ -257,6 +268,7 @@ func evalChecks(rep *Report) {
 	zeroAllocCheck("dpi_classify_zero_alloc", dpiClassify)
 	zeroAllocCheck("dpi_feature_update_zero_alloc", dpiUpdate)
 	zeroAllocCheck("obs_inc_zero_alloc", obsInc)
+	zeroAllocCheck("trace_off_zero_alloc", traceOff)
 	// The observation-plane overhead bound: the metro run with the epoch
 	// recorder and flight recorder live must keep >= 95% of the
 	// unobserved run's event rate.
@@ -274,6 +286,26 @@ func evalChecks(rep *Report) {
 		} else {
 			rep.Checks["obs_overhead_pct"] = fmt.Sprintf(
 				"FAIL (%.1f%% events/s cost with recorder+flight attached, want < 5%%)", pct)
+		}
+	}
+	// The causal-tracing overhead bound: the metro run with the
+	// deployment tracing posture (1% of flows recorded end to end, the
+	// rest head-sampled) must keep >= 95% of the untraced run's event
+	// rate.
+	switch {
+	case metroTrace == nil:
+		rep.Checks["trace_overhead_pct"] = "not run"
+	case metro == nil || metro.EventsPerSec == nil || *metro.EventsPerSec <= 0 ||
+		metroTrace.EventsPerSec == nil || *metroTrace.EventsPerSec <= 0:
+		rep.Checks["trace_overhead_pct"] = "FAIL (need events/s from both BenchmarkNetemMetro and BenchmarkNetemMetroTrace)"
+	default:
+		pct := (1 - *metroTrace.EventsPerSec / *metro.EventsPerSec) * 100
+		if pct < 5 {
+			rep.Checks["trace_overhead_pct"] = fmt.Sprintf(
+				"pass (%.1f%% events/s cost with 1%% of flows traced end to end, want < 5%%)", pct)
+		} else {
+			rep.Checks["trace_overhead_pct"] = fmt.Sprintf(
+				"FAIL (%.1f%% events/s cost with 1%% of flows traced end to end, want < 5%%)", pct)
 		}
 	}
 	switch {

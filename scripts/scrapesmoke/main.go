@@ -11,7 +11,11 @@
 //     carry the values a completed metro run implies (packets actually
 //     delivered, recorder actually ticked, flight recorder actually
 //     sampled);
-//   - /flight.json must return a non-empty event array.
+//   - /flight.json must return a non-empty event array;
+//   - /trace.json must be valid Chrome trace-event JSON (required keys
+//     per event, known phases, monotonic timestamps, balanced B/E
+//     pairs) with at least one span slice — the run is started with
+//     `-trace all` so every flow is recorded.
 //
 // Any miss exits non-zero, so the scrape surface cannot silently rot.
 package main
@@ -28,6 +32,8 @@ import (
 	"regexp"
 	"strings"
 	"time"
+
+	"netneutral/internal/obs"
 )
 
 // requiredFamilies are the base names a metro-run scrape must expose:
@@ -90,7 +96,7 @@ func run() error {
 	// -metricshold keeps the server up with the final (post-run) state;
 	// we kill the process as soon as the scrape is done.
 	cmd := exec.Command(bin,
-		"-hosts", "1000", "-duration", "500ms", "-seed", "7",
+		"-hosts", "1000", "-duration", "500ms", "-seed", "7", "-trace", "all",
 		"-metrics", "127.0.0.1:0", "-metricshold", "2m")
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -127,6 +133,39 @@ func run() error {
 	}
 	if err := checkFlight(base + "/flight.json"); err != nil {
 		return fmt.Errorf("/flight.json: %w", err)
+	}
+	if err := checkTrace(base + "/trace.json"); err != nil {
+		return fmt.Errorf("/trace.json: %w", err)
+	}
+	return nil
+}
+
+// checkTrace validates the assembled-span export against the Chrome
+// trace-event schema and requires at least one non-metadata event.
+func checkTrace(url string) error {
+	body, err := fetch(url)
+	if err != nil {
+		return err
+	}
+	if err := obs.ValidateChromeTrace(body); err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return err
+	}
+	slices := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "M" {
+			slices++
+		}
+	}
+	if slices == 0 {
+		return fmt.Errorf("no span events (only metadata)")
 	}
 	return nil
 }

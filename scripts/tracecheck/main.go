@@ -1,0 +1,60 @@
+// Command tracecheck validates a Chrome trace-event JSON file (as
+// written by `neutsim -traceout` or served on /trace.json) against the
+// schema invariants the observability plane guarantees: required keys
+// per event, known phases, non-decreasing timestamps globally and per
+// (pid, tid) lane, non-negative durations on "X" slices, and balanced
+// B/E pairs. CI runs it on the trace-smoke artifact; any violation
+// exits non-zero.
+//
+// Usage:
+//
+//	go run ./scripts/tracecheck trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"netneutral/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1]); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+}
+
+func run(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.ValidateChromeTrace(data); err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	slices := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "M" {
+			slices++
+		}
+	}
+	if slices == 0 {
+		return fmt.Errorf("no span events (only metadata)")
+	}
+	fmt.Printf("tracecheck: ok (%d events, %d spans/instants)\n", len(doc.TraceEvents), slices)
+	return nil
+}
