@@ -35,6 +35,16 @@
 // exits non-zero, and the narration is deterministic for a fixed -seed,
 // which is how CI byte-diffs two runs.
 //
+// With -backbone it runs the E13 continental scenario: -metros metro
+// fan-outs (each with -hosts customers, its own address blocks and its
+// own anycast neutralizer) stitched through a transit core with
+// wide-area delays, carrying neutralized cross-backbone flows, plain
+// cross-metro probes, and fluid background load at once. The run is an
+// identity sweep over worker counts {1, -simworkers}; a determinism
+// violation or misdelivery exits non-zero. Deterministic facts go to
+// stdout (two runs with the same flags byte-diff clean, which is how CI
+// smokes this path), wall-clock figures to stderr.
+//
 // With -parscale it runs the E9 parallel-scaling sweep: the metro
 // workload (downstream neutralized load plus intra-subtree chatter) at
 // worker counts 1/2/4, enforcing that every deterministic outcome is
@@ -62,6 +72,7 @@
 //	neutsim -audit -vantages 8 -trials 10 -seed 7 # neutrality audit
 //	neutsim -parscale -hosts 2000 -duration 500ms # E9 worker sweep
 //	neutsim -realproto -seed 7                    # E10 real protocols
+//	neutsim -backbone -metros 4 -hosts 1000 -simworkers 2  # E13 backbone
 package main
 
 import (
@@ -112,6 +123,8 @@ func main() {
 	flows := flag.Int("flows", 25, "arms race: flows per application class")
 	auditFlag := flag.Bool("audit", false, "run the E8 neutrality audit (differential probing vs stealthy throttling)")
 	parscale := flag.Bool("parscale", false, "run the E9 parallel-scaling sweep (worker counts 1/2/4, bit-identical outcomes enforced)")
+	backbone := flag.Bool("backbone", false, "run the E13 continental backbone (-metros fan-outs of -hosts customers each through a transit core, fluid background load, worker-identity sweep)")
+	metros := flag.Int("metros", 6, "backbone: metro count")
 	realproto := flag.Bool("realproto", false, "run the E10 real-protocol scenario (dns + net/http over simnet vs dpi and audit)")
 	simWorkers := flag.Int("simworkers", 1, "threads executing the sharded metro/audit engine (results are identical at any value)")
 	vantages := flag.Int("vantages", 12, "audit: outside vantage points (inside reference vantages scale as 1/3)")
@@ -127,6 +140,10 @@ func main() {
 	}
 	if *parscale {
 		runParScale(*hosts, *seed, *duration)
+		return
+	}
+	if *backbone {
+		runBackbone(*metros, *hosts, *seed, *duration, *simWorkers)
 		return
 	}
 	if *auditFlag {
@@ -405,6 +422,47 @@ func parseFlowSpec(spec string) (obs.FlightConfig, []uint64, error) {
 		}
 		cfg.SampleFlows = frac
 		return cfg, nil, nil
+	}
+}
+
+// runBackbone drives the E13 continental scenario: an identity sweep
+// over worker counts {1, workers}; eval.RunBackboneIdentity exits
+// non-zero (via log.Fatal) on any determinism violation, misdelivery,
+// or classifier hit. Everything printed to stdout is a pure function of
+// the flags, so CI byte-diffs two runs; wall-clock figures go to stderr.
+func runBackbone(metros, hostsPerMetro int, seed int64, duration time.Duration, workers int) {
+	if hostsPerMetro <= 0 {
+		hostsPerMetro = 1000
+	}
+	sweep := []int{1}
+	if workers > 1 {
+		sweep = append(sweep, workers)
+	}
+	fmt.Printf("== continental backbone: %d metros x %d customers, worker sweep %v ==\n",
+		metros, hostsPerMetro, sweep)
+	runs, err := eval.RunBackboneIdentity(eval.BackboneConfig{
+		Metros: metros, HostsPerMetro: hostsPerMetro, Seed: seed,
+		Duration: duration, Observe: true,
+	}, sweep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := runs[0]
+	fmt.Printf("topology        %d customers across %d shards, prefix-compressed FIBs (core holds %d routes)\n",
+		st.Hosts, st.Shards, 3*st.Metros)
+	fmt.Printf("traffic         %d neutralized + %d plain cross-metro packets over %v simulated\n",
+		st.NeutSent, st.CrossSent, duration)
+	fmt.Printf("delivered       %d/%d (dropped %d)\n",
+		st.Delivered, st.NeutSent+st.CrossSent, st.Dropped)
+	fmt.Printf("classifier hits %d — the core cannot single out a customer\n", st.ClassifierHits)
+	fmt.Printf("fluid           %d background bytes accounted in %d rate ticks, zero packet events\n",
+		st.FluidBytes, st.FluidTicks)
+	fmt.Printf("engine          %d sim events per run\n", st.SimEvents)
+	fmt.Printf("determinism     verified: identical outcomes (incl. fluid + observation digest) at worker counts %v\n", sweep)
+	for _, r := range runs {
+		fmt.Fprintf(os.Stderr, "workers=%d built in %v, ran %v wall (%.0f events/sec)\n",
+			r.Workers, r.BuildTime.Round(time.Millisecond),
+			r.RunTime.Round(time.Millisecond), r.EventsPerSec)
 	}
 }
 

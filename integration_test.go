@@ -110,8 +110,8 @@ func TestFacadeInProcessConversation(t *testing.T) {
 // TestExperimentRegistryRunsF2 spot-checks the facade-exposed experiment
 // registry (the full matrix runs in internal/eval's tests).
 func TestExperimentRegistryRunsF2(t *testing.T) {
-	if len(netneutral.Experiments()) != 20 {
-		t.Fatalf("experiments = %d, want 20", len(netneutral.Experiments()))
+	if len(netneutral.Experiments()) != 21 {
+		t.Fatalf("experiments = %d, want 21", len(netneutral.Experiments()))
 	}
 	exp, ok := netneutral.ExperimentByID("F2")
 	if !ok {

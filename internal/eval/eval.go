@@ -77,6 +77,7 @@ func All() []Experiment {
 		{"E8", auditTitle, RunE8},
 		{"E9", parScaleTitle, RunE9},
 		{"E10", realProtoTitle, RunE10},
+		{"E13", backboneTitle, RunE13},
 		{"F1", "Figure 1: customer indistinguishability inside a discriminatory ISP", RunF1},
 		{"F2", "Figure 2: protocol walk with eavesdropper assertions", RunF2},
 		{"A1", "§3.2 ablation: chosen key setup vs certified-pubkey alternative", RunA1},

@@ -48,7 +48,7 @@ func parseKpps(t *testing.T, s string) float64 {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "F1", "F2", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E13", "F1", "F2", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"net/netip"
+	"slices"
 )
 
 // route is one installed prefix route; the node's route list is the
@@ -13,17 +14,49 @@ type route struct {
 	link   *Link
 }
 
-// fib is a node's compiled forwarding table: an exact-match map for host
-// (/32, /128) routes — the overwhelming majority on emulated topologies,
-// where Dijkstra installs one host route per remote address — plus a
-// short table of broader prefixes sorted by descending length for
-// longest-prefix match. Compiled lazily after any route change, it turns
-// the seed engine's O(routes) linear scan per forwarded packet into an
-// O(1) map probe.
+// blockRoute is a prefix-compressed set of host-specificity routes
+// covering the contiguous IPv4 range [first, first+n): either one link
+// for the whole range (AddRangeRoute — a border router's per-edge
+// aggregate) or one link per offset (AddBlockRoute — an edge router's
+// per-host fan-out). One blockRoute replaces n map entries, which is
+// what lets border and edge FIBs stay flat at a million hosts.
+type blockRoute struct {
+	first uint32
+	n     uint32
+	link  *Link   // whole-range link (range form; nil in block form)
+	links []*Link // per-offset links (block form; nil in range form)
+}
+
+func (b *blockRoute) contains(v uint32) bool { return v-b.first < b.n }
+
+func (b *blockRoute) lookup(v uint32) *Link {
+	if b.links != nil {
+		return b.links[v-b.first]
+	}
+	return b.link
+}
+
+// fib is a node's compiled forwarding table, probed in specificity
+// order: an exact-match map for individually installed host (/32, /128)
+// routes, then the block/range routes at host specificity (binary search
+// over ranges sorted by first address; overlapping blocks resolve to the
+// earliest installed), then a short table of broader prefixes sorted by
+// descending length for longest-prefix match. Compiled lazily after any
+// route change.
 type fib struct {
-	hosts    map[netip.Addr]*Link
-	prefixes []route // sorted by prefix length, longest first
+	hosts  map[netip.Addr]*Link // nil when no single-IP routes exist
+	blocks []compiledBlock      // sorted by first address, ascending
+	maxEnd []uint32             // maxEnd[i] = max over blocks[:i+1] of first+n
+	// prefixes may alias the node's route list when no reordering or
+	// filtering was needed (the leaf-host case: one default route), so
+	// compiling a million leaf FIBs allocates nothing.
+	prefixes []route
 	dirty    bool
+}
+
+type compiledBlock struct {
+	blockRoute
+	idx int32 // install order: the earliest-installed overlapping block wins
 }
 
 // AddRoute installs a static prefix route through the given link.
@@ -32,55 +65,198 @@ func (n *Node) AddRoute(prefix netip.Prefix, l *Link) {
 	n.fib.dirty = true
 }
 
-// ClearRoutes removes every installed route.
+// AddRangeRoute installs host-specificity routes for the n consecutive
+// IPv4 addresses [first, first+n), all via link l, as one compressed
+// entry — how a border router holds one route per edge-router block
+// instead of one per customer. Range routes match like /32 routes: more
+// specific than any prefix route, less specific than an exact AddRoute
+// /32; overlapping ranges resolve to the earliest installed.
+func (n *Node) AddRangeRoute(first netip.Addr, count int, l *Link) error {
+	b, err := makeBlock(first, count)
+	if err != nil {
+		return err
+	}
+	b.link = l
+	n.blocks = append(n.blocks, b)
+	n.fib.dirty = true
+	return nil
+}
+
+// AddBlockRoute installs host-specificity routes for the len(links)
+// consecutive IPv4 addresses starting at first, where address first+i
+// routes via links[i] — an edge router's whole customer fan-out as one
+// flat offset-indexed array instead of a map entry per host. Matching
+// semantics are those of AddRangeRoute. The links slice is retained.
+func (n *Node) AddBlockRoute(first netip.Addr, links []*Link) error {
+	b, err := makeBlock(first, len(links))
+	if err != nil {
+		return err
+	}
+	b.links = links
+	n.blocks = append(n.blocks, b)
+	n.fib.dirty = true
+	return nil
+}
+
+func makeBlock(first netip.Addr, count int) (blockRoute, error) {
+	if !first.Is4() {
+		return blockRoute{}, fmt.Errorf("netem: block route base %v is not IPv4", first)
+	}
+	v := ipv4ToUint(first)
+	if count <= 0 || uint64(v)+uint64(count) > 1<<32 {
+		return blockRoute{}, fmt.Errorf("netem: block route [%v +%d) is empty or wraps the address space", first, count)
+	}
+	return blockRoute{first: v, n: uint32(count)}, nil
+}
+
+// ClearRoutes removes every installed route, block routes included.
 func (n *Node) ClearRoutes() {
 	n.routes = n.routes[:0]
+	n.blocks = n.blocks[:0]
 	n.fib.dirty = true
 }
 
-// RouteCount reports installed routes (before FIB compilation).
-func (n *Node) RouteCount() int { return len(n.routes) }
+// RouteCount reports installed route entries (prefix plus block/range
+// entries — a block counts once, however many addresses it covers).
+func (n *Node) RouteCount() int { return len(n.routes) + len(n.blocks) }
 
-// compileFIB rebuilds the indexed FIB from the route list. Ties between
-// equal-length prefixes resolve to the earliest-installed route, matching
-// the historical linear scan (which only replaced on strictly longer).
+// compileFIB rebuilds the indexed FIB from the route and block lists.
+// Ties between equal-length prefixes resolve to the earliest-installed
+// route, matching the historical linear scan (which only replaced on
+// strictly longer).
 func (n *Node) compileFIB() {
 	f := &n.fib
-	if f.hosts == nil {
-		f.hosts = make(map[netip.Addr]*Link, len(n.routes))
+	singles := 0
+	for i := range n.routes {
+		if n.routes[i].prefix.IsSingleIP() {
+			singles++
+		}
+	}
+	if singles == 0 {
+		f.hosts = nil
+		// No filtering needed; alias the route list when it is already in
+		// descending-length order (always true for the one-default-route
+		// leaf hosts), so the common compile is allocation-free. Stable
+		// sorting an aliased list would also be correct — it only reorders
+		// entries of different lengths, which cannot change any lookup —
+		// but copying keeps the install-order list untouched.
+		if sortedByLenDesc(n.routes) {
+			f.prefixes = n.routes
+		} else {
+			f.prefixes = append(f.prefixes[:0:0], n.routes...)
+			slices.SortStableFunc(f.prefixes, func(a, b route) int {
+				return b.prefix.Bits() - a.prefix.Bits()
+			})
+		}
 	} else {
-		clear(f.hosts)
-	}
-	f.prefixes = f.prefixes[:0]
-	for _, r := range n.routes {
-		if r.prefix.IsSingleIP() {
-			if _, dup := f.hosts[r.prefix.Addr()]; !dup {
-				f.hosts[r.prefix.Addr()] = r.link
+		if f.hosts == nil {
+			f.hosts = make(map[netip.Addr]*Link, singles)
+		} else {
+			clear(f.hosts)
+		}
+		f.prefixes = f.prefixes[:0]
+		for _, r := range n.routes {
+			if r.prefix.IsSingleIP() {
+				if _, dup := f.hosts[r.prefix.Addr()]; !dup {
+					f.hosts[r.prefix.Addr()] = r.link
+				}
+				continue
 			}
-			continue
+			f.prefixes = append(f.prefixes, r)
 		}
-		f.prefixes = append(f.prefixes, r)
+		// Stable sort by descending prefix length: stability preserves the
+		// first-installed-wins tie-break the linear reference implements.
+		slices.SortStableFunc(f.prefixes, func(a, b route) int {
+			return b.prefix.Bits() - a.prefix.Bits()
+		})
 	}
-	// Stable insertion sort by descending prefix length: the table is
-	// short (host routes never land here) and stability preserves the
-	// first-installed-wins tie-break.
-	for i := 1; i < len(f.prefixes); i++ {
-		for j := i; j > 0 && f.prefixes[j].prefix.Bits() > f.prefixes[j-1].prefix.Bits(); j-- {
-			f.prefixes[j], f.prefixes[j-1] = f.prefixes[j-1], f.prefixes[j]
+
+	f.blocks = f.blocks[:0]
+	f.maxEnd = f.maxEnd[:0]
+	for i := range n.blocks {
+		f.blocks = append(f.blocks, compiledBlock{blockRoute: n.blocks[i], idx: int32(i)})
+	}
+	slices.SortStableFunc(f.blocks, func(a, b compiledBlock) int {
+		switch {
+		case a.first < b.first:
+			return -1
+		case a.first > b.first:
+			return 1
 		}
+		return 0
+	})
+	var maxEnd uint64 // 64-bit: an end of 1<<32 (top of the space) must stay sticky
+	for i := range f.blocks {
+		if end := uint64(f.blocks[i].first) + uint64(f.blocks[i].n); end > maxEnd {
+			maxEnd = end
+		}
+		// Stored as uint32: 1<<32 wraps to 0, the "reaches the top" sentinel
+		// lookupBlock understands (block lengths are positive, so a genuine
+		// running max is never 0).
+		f.maxEnd = append(f.maxEnd, uint32(maxEnd))
 	}
 	f.dirty = false
 }
 
-// lookupRoute returns the best (longest-prefix) route for dst, or nil.
+// sortedByLenDesc reports whether the routes are already in descending
+// prefix-length order (the alias-without-copy fast path).
+func sortedByLenDesc(rs []route) bool {
+	for i := 1; i < len(rs); i++ {
+		if rs[i].prefix.Bits() > rs[i-1].prefix.Bits() {
+			return false
+		}
+	}
+	return true
+}
+
+// lookupBlock finds the host-specificity block covering v, earliest
+// installed first. Binary search lands on the last block starting at or
+// before v; the backward scan is bounded by the running maximum of block
+// ends, so with the disjoint blocks topology builders install it checks
+// exactly one candidate.
+func (f *fib) lookupBlock(v uint32) *Link {
+	// First index whose block starts strictly after v.
+	lo, hi := 0, len(f.blocks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if f.blocks[mid].first <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	var via *Link
+	best := int32(-1)
+	for j := lo - 1; j >= 0; j-- {
+		if end := f.maxEnd[j]; end != 0 && end <= v {
+			break // no earlier block can reach v
+		}
+		b := &f.blocks[j]
+		if b.contains(v) && (best < 0 || b.idx < best) {
+			best, via = b.idx, b.lookup(v)
+		}
+	}
+	return via
+}
+
+// lookupRoute returns the best route for dst, or nil: exact host routes,
+// then block/range routes (host specificity), then longest prefix.
 func (n *Node) lookupRoute(dst netip.Addr) *Link {
 	if n.fib.dirty {
 		n.compileFIB()
 	}
-	if l, ok := n.fib.hosts[dst]; ok {
-		return l
+	f := &n.fib
+	if f.hosts != nil {
+		if l, ok := f.hosts[dst]; ok {
+			return l
+		}
 	}
-	for _, r := range n.fib.prefixes {
+	if len(f.blocks) > 0 && dst.Is4() {
+		if l := f.lookupBlock(ipv4ToUint(dst)); l != nil {
+			return l
+		}
+	}
+	for _, r := range f.prefixes {
 		if r.prefix.Contains(dst) {
 			return r.link
 		}
@@ -88,9 +264,12 @@ func (n *Node) lookupRoute(dst netip.Addr) *Link {
 	return nil
 }
 
-// lookupRouteLinear is the seed engine's reference implementation: a
-// linear scan for the longest matching prefix. The FIB property tests
-// assert lookupRoute against it on random topologies.
+// lookupRouteLinear is the reference implementation the FIB property
+// tests assert lookupRoute against on random topologies: a linear scan
+// for the longest matching prefix, with block/range routes modelled as
+// the host routes they stand for — matched at host specificity (below
+// an exact single-IP route, above any broader prefix), earliest
+// installed first among overlapping blocks.
 func (n *Node) lookupRouteLinear(dst netip.Addr) *Link {
 	best := -1
 	var via *Link
@@ -99,6 +278,17 @@ func (n *Node) lookupRouteLinear(dst netip.Addr) *Link {
 		if r.prefix.Contains(dst) && r.prefix.Bits() > best {
 			best = r.prefix.Bits()
 			via = r.link
+		}
+	}
+	if best == dst.BitLen() {
+		return via // exact host route outranks blocks
+	}
+	if dst.Is4() {
+		v := ipv4ToUint(dst)
+		for i := range n.blocks {
+			if b := &n.blocks[i]; b.contains(v) {
+				return b.lookup(v)
+			}
 		}
 	}
 	return via

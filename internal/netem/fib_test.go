@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"net/netip"
+	"runtime"
 	"testing"
 	"time"
 )
@@ -38,8 +39,9 @@ func randTopology(t *testing.T, rng *rand.Rand, n int) (*Simulator, []*Node) {
 }
 
 // TestFIBMatchesLinearReference: on random topologies with random extra
-// prefix routes, the indexed FIB must return exactly what the seed
-// engine's linear longest-prefix scan returns, for every probe address.
+// prefix routes and random (deliberately overlapping) block/range
+// routes, the indexed FIB must return exactly what the linear reference
+// scan returns, for every probe address.
 func TestFIBMatchesLinearReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 30; trial++ {
@@ -63,7 +65,34 @@ func TestFIBMatchesLinearReference(t *testing.T) {
 			nd.AddRoute(p, nd.links[rng.Intn(len(nd.links))])
 		}
 
-		// Probes: every node address plus random addresses.
+		// Sprinkle compressed block/range routes, confined to 10.0-3.x so
+		// they overlap the node /32s, the prefixes above, and each other —
+		// the tie-breaks (exact beats block beats prefix; earliest block
+		// wins) are exactly what this must pin down.
+		for k := 0; k < 8; k++ {
+			nd := nodes[rng.Intn(n)]
+			if len(nd.links) == 0 {
+				continue
+			}
+			base := netip.AddrFrom4([4]byte{10, byte(rng.Intn(4)), byte(rng.Intn(256)), byte(rng.Intn(250))})
+			count := 1 + rng.Intn(600)
+			if rng.Intn(2) == 0 {
+				if err := nd.AddRangeRoute(base, count, nd.links[rng.Intn(len(nd.links))]); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				links := make([]*Link, count)
+				for i := range links {
+					links[i] = nd.links[rng.Intn(len(nd.links))]
+				}
+				if err := nd.AddBlockRoute(base, links); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		// Probes: every node address, random addresses anywhere, and
+		// random addresses in the block neighborhood.
 		var probes []netip.Addr
 		for _, nd := range nodes {
 			probes = append(probes, nd.Addr())
@@ -71,6 +100,10 @@ func TestFIBMatchesLinearReference(t *testing.T) {
 		for k := 0; k < 50; k++ {
 			probes = append(probes, netip.AddrFrom4([4]byte{
 				byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))}))
+		}
+		for k := 0; k < 80; k++ {
+			probes = append(probes, netip.AddrFrom4([4]byte{
+				10, byte(rng.Intn(4)), byte(rng.Intn(256)), byte(rng.Intn(256))}))
 		}
 		for _, nd := range nodes {
 			for _, dst := range probes {
@@ -191,5 +224,66 @@ func TestFIBRecompilesAfterRouteChange(t *testing.T) {
 	a.ClearRoutes()
 	if a.lookupRoute(dst) != nil {
 		t.Fatal("cleared route still resolves")
+	}
+	// Block routes respect the same dirty/clear lifecycle.
+	if err := a.AddRangeRoute(addr("10.9.0.0"), 512, l); err != nil {
+		t.Fatal(err)
+	}
+	if a.lookupRoute(dst) != l {
+		t.Fatal("range route added after compile not visible")
+	}
+	a.ClearRoutes()
+	if a.lookupRoute(dst) != nil {
+		t.Fatal("cleared range route still resolves")
+	}
+}
+
+// TestFIBRouteMemoryRegression pins the memory cost of compressed
+// routes: a range route must cost a bounded number of bytes per entry —
+// not per covered address — however many hosts it stands for. This is
+// the regression gate for the backbone's O(edges) router state.
+func TestFIBRouteMemoryRegression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation sizes")
+	}
+	s := NewSimulator(simStart, 1)
+	a := s.MustAddNode("a", "", addr("10.0.0.1"))
+	b := s.MustAddNode("b", "", addr("10.0.1.1"))
+	l := s.Connect(a, b, LinkConfig{Delay: time.Millisecond})
+
+	const routes, span = 10000, 256
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	base := ipv4ToUint(addr("11.0.0.0"))
+	for i := 0; i < routes; i++ {
+		if err := a.AddRangeRoute(uintToIPv4(base+uint32(i)*span), span, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.lookupRoute(addr("11.0.0.5")) != l { // force FIB compilation
+		t.Fatal("range route does not resolve")
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	perRoute := float64(int64(m1.HeapAlloc)-int64(m0.HeapAlloc)) / routes
+	perAddr := perRoute / span
+	t.Logf("range routes: %.1f B/route, %.3f B/covered-address", perRoute, perAddr)
+	// Source entry (~40B) + compiled entry (~48B) + maxEnd word, with
+	// slice-growth slack: anything near the old per-/32 map cost (tens
+	// of bytes per covered address) fails loudly.
+	if perRoute > 300 {
+		t.Errorf("range route costs %.1f B/route, want <= 300", perRoute)
+	}
+	if perAddr > 2 {
+		t.Errorf("range route costs %.3f B/covered-address, want <= 2", perAddr)
+	}
+
+	// Every one of the 2.56M covered addresses must resolve through the
+	// compiled form; spot-check the corners and a stride.
+	for i := 0; i < routes*span; i += 4099 {
+		if a.lookupRoute(uintToIPv4(base+uint32(i))) != l {
+			t.Fatalf("covered address %d does not resolve", i)
+		}
 	}
 }

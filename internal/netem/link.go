@@ -21,7 +21,9 @@ type Queue interface {
 }
 
 // FIFOQueue is a bounded tail-drop FIFO backed by a ring buffer, so
-// steady-state enqueue/dequeue never allocates.
+// steady-state enqueue/dequeue never allocates. The ring itself is
+// allocated on first enqueue: a million idle host links must not pay
+// 64 pointer slots each up front.
 type FIFOQueue struct {
 	q    []*Packet
 	head int
@@ -34,13 +36,16 @@ func NewFIFOQueue(capacity int) *FIFOQueue {
 	if capacity <= 0 {
 		capacity = 64
 	}
-	return &FIFOQueue{q: make([]*Packet, capacity), cap: capacity}
+	return &FIFOQueue{cap: capacity}
 }
 
 // Enqueue implements Queue.
 func (f *FIFOQueue) Enqueue(p *Packet) bool {
 	if f.n >= f.cap {
 		return false
+	}
+	if f.q == nil {
+		f.q = make([]*Packet, f.cap)
 	}
 	f.q[(f.head+f.n)%f.cap] = p
 	f.n++
@@ -99,10 +104,15 @@ type linkDir struct {
 	from    *Node
 	to      *Node
 	cfg     LinkConfig
-	queue   Queue
+	queue   Queue // nil until the first transmit (idle links stay queue-free)
 	busy    bool
 	sent    uint64
 	dropped uint64
+	// fluidBps is the aggregate background load a FluidFlow currently
+	// offers on this direction (bits/s); startTransmission serializes
+	// packets at the residual rate, so policing and queueing see the
+	// load without per-packet events. See fluid.go.
+	fluidBps float64
 }
 
 // Connect joins two nodes with symmetric link characteristics.
@@ -113,9 +123,20 @@ func (s *Simulator) Connect(a, b *Node, cfg LinkConfig) *Link {
 // ConnectAsym joins two nodes with per-direction characteristics
 // (ab for a→b, ba for b→a).
 func (s *Simulator) ConnectAsym(a, b *Node, ab, ba LinkConfig) *Link {
-	l := &Link{a: a, b: b}
-	l.dirs[0] = &linkDir{from: a, to: b, cfg: ab, queue: NewFIFOQueue(ab.QueueLen)}
-	l.dirs[1] = &linkDir{from: b, to: a, cfg: ba, queue: NewFIFOQueue(ba.QueueLen)}
+	var l Link
+	var d [2]linkDir
+	return s.connectInto(&l, &d[0], &d[1], a, b, ab, ba)
+}
+
+// connectInto wires preallocated link storage between a and b — the slab
+// path topology builders use to stamp out a metro's host links as three
+// arrays instead of three heap objects per host. The storage must be
+// zero-valued and must outlive the simulator.
+func (s *Simulator) connectInto(l *Link, d0, d1 *linkDir, a, b *Node, ab, ba LinkConfig) *Link {
+	*l = Link{a: a, b: b}
+	*d0 = linkDir{from: a, to: b, cfg: ab}
+	*d1 = linkDir{from: b, to: a, cfg: ba}
+	l.dirs[0], l.dirs[1] = d0, d1
 	a.links = append(a.links, l)
 	b.links = append(b.links, l)
 	s.planDirty = true
@@ -177,7 +198,7 @@ func (l *Link) Stats(from *Node) (sent, dropped uint64) {
 // the given node.
 func (l *Link) QueueLen(from *Node) int {
 	d := l.dir(from)
-	if d == nil {
+	if d == nil || d.queue == nil {
 		return 0
 	}
 	return d.queue.Len()
@@ -207,6 +228,9 @@ func (l *Link) transmit(from *Node, p *Packet) {
 	}
 	p.Size = len(p.Pkt)
 	p.Arrived = sh.now
+	if d.queue == nil {
+		d.queue = NewFIFOQueue(d.cfg.QueueLen)
+	}
 	if !d.queue.Enqueue(p) {
 		d.dropped++
 		sh.mLinkQDrop.Inc()
@@ -230,8 +254,16 @@ func (d *linkDir) startTransmission() {
 	}
 	d.busy = true
 	serialize := time.Duration(0)
-	if d.cfg.RateBps > 0 {
-		sec := float64(p.Size*8) / d.cfg.RateBps
+	if rate := d.cfg.RateBps; rate > 0 {
+		if d.fluidBps > 0 {
+			// Fluid background load consumes capacity: packets serialize at
+			// the residual rate, floored so a saturating fluid can slow the
+			// measured path by at most 100x rather than stall it.
+			if rate -= d.fluidBps; rate < d.cfg.RateBps*fluidResidualFloor {
+				rate = d.cfg.RateBps * fluidResidualFloor
+			}
+		}
+		sec := float64(p.Size*8) / rate
 		serialize = time.Duration(math.Round(sec * float64(time.Second)))
 	}
 	sh := d.from.sh

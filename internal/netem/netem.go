@@ -225,8 +225,12 @@ type Simulator struct {
 	nodes    map[string]*Node
 	nodeList []*Node
 	byAddr   map[netip.Addr]*Node
-	anycast  map[netip.Addr][]*Node
-	traces   []TraceHook
+	// addrBlocks indexes the contiguous leaf-host address blocks
+	// registered by AddHostBlock: one entry per block instead of one
+	// byAddr map entry per host (the million-host memory plan).
+	addrBlocks []addrBlock
+	anycast    map[netip.Addr][]*Node
+	traces     []TraceHook
 
 	met       *simMetrics
 	flight    *obs.FlightRecorder
@@ -361,6 +365,7 @@ type Node struct {
 	addrs   []netip.Addr
 	links   []*Link
 	routes  []route
+	blocks  []blockRoute
 	fib     fib
 	handler Handler
 	hooks   []TransitHook
@@ -399,8 +404,109 @@ func (s *Simulator) MustAddNode(name, domain string, addrs ...netip.Addr) *Node 
 // Node returns a node by name, or nil.
 func (s *Simulator) Node(name string) *Node { return s.nodes[name] }
 
-// NodeByAddr returns the node owning addr, or nil.
-func (s *Simulator) NodeByAddr(a netip.Addr) *Node { return s.byAddr[a] }
+// NodeByAddr returns the node owning addr, or nil. Named nodes resolve
+// through the address map; anonymous leaf hosts resolve through their
+// block's offset index (a short linear walk over blocks — one per metro,
+// not per host).
+func (s *Simulator) NodeByAddr(a netip.Addr) *Node {
+	if n, ok := s.byAddr[a]; ok {
+		return n
+	}
+	if !a.Is4() {
+		return nil
+	}
+	v := ipv4ToUint(a)
+	for i := range s.addrBlocks {
+		if b := &s.addrBlocks[i]; v-b.first < uint32(len(b.nodes)) {
+			return b.nodes[v-b.first]
+		}
+	}
+	return nil
+}
+
+// addrBlock is one AddHostBlock registration: nodes[i] owns address
+// first+i.
+type addrBlock struct {
+	first uint32
+	nodes []*Node
+}
+
+// addrInBlocks reports whether a falls inside a registered host block.
+func (s *Simulator) addrInBlocks(a netip.Addr) bool {
+	if !a.Is4() {
+		return false
+	}
+	v := ipv4ToUint(a)
+	for i := range s.addrBlocks {
+		if b := &s.addrBlocks[i]; v-b.first < uint32(len(b.nodes)) {
+			return true
+		}
+	}
+	return false
+}
+
+// AddHostBlock creates n leaf hosts owning the consecutive IPv4
+// addresses [first, first+n), slab-allocated: one Node array, one
+// address array, shared capacity for each host's single link and route,
+// and a single block entry in the address index instead of n map
+// entries. That drops the per-host build cost to a few hundred bytes —
+// the plan that fits a million hosts in memory. The hosts are anonymous
+// (Name "", not resolvable via Simulator.Node); hold the returned slice.
+// They start on shard 0; assign shards with Node.SetShard as usual.
+//
+// The block must not overlap any registered address: other blocks are
+// checked block-to-block, and every individually registered address is
+// checked against the range (the named-node population is small —
+// routers, not hosts — so the scan is cheap at build time).
+func (s *Simulator) AddHostBlock(domain string, first netip.Addr, n int) ([]*Node, error) {
+	if !first.Is4() {
+		return nil, fmt.Errorf("netem: host block base %v is not IPv4", first)
+	}
+	v := ipv4ToUint(first)
+	if n <= 0 || uint64(v)+uint64(n) > 1<<32 {
+		return nil, fmt.Errorf("netem: host block [%v +%d) is empty or wraps the address space", first, n)
+	}
+	for i := range s.addrBlocks {
+		b := &s.addrBlocks[i]
+		if v < b.first+uint32(len(b.nodes)) && b.first < v+uint32(n) {
+			return nil, fmt.Errorf("%w: block [%v +%d) overlaps an existing host block", ErrAddrInUse, first, n)
+		}
+	}
+	for a := range s.byAddr {
+		if a.Is4() {
+			if w := ipv4ToUint(a); w-v < uint32(n) {
+				return nil, fmt.Errorf("%w: %v already registered inside block [%v +%d)", ErrAddrInUse, a, first, n)
+			}
+		}
+	}
+	slab := make([]Node, n)
+	addrSlab := make([]netip.Addr, n)
+	linkSlab := make([]*Link, n)
+	routeSlab := make([]route, n)
+	nodes := make([]*Node, n)
+	id := len(s.nodeList)
+	s.nodeList = append(s.nodeList, nodes...) // reserve; filled below
+	for i := range slab {
+		nd := &slab[i]
+		addrSlab[i] = uintToIPv4(v + uint32(i))
+		*nd = Node{
+			Domain: domain,
+			sim:    s,
+			sh:     s.shards[0],
+			id:     id + i,
+			addrs:  addrSlab[i : i+1 : i+1],
+			// Full-slice caps: the host's one link and one default route
+			// append into the shared slabs instead of allocating.
+			links:  linkSlab[i : i : i+1],
+			routes: routeSlab[i : i : i+1],
+		}
+		nodes[i] = nd
+		s.nodeList[id+i] = nd
+	}
+	s.addrBlocks = append(s.addrBlocks, addrBlock{first: v, nodes: nodes})
+	s.planDirty = true
+	return nodes, nil
+}
 
 // NodeCount reports how many nodes the simulator holds.
 func (s *Simulator) NodeCount() int { return len(s.nodeList) }

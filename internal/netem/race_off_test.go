@@ -1,0 +1,9 @@
+//go:build !race
+
+package netem
+
+// raceEnabled reports whether the race detector is active. Wall-clock
+// build-time gates (the million-host backbone) are skipped under -race:
+// instrumentation multiplies allocation-heavy build costs by a factor
+// that says nothing about the uninstrumented engine.
+const raceEnabled = false

@@ -36,6 +36,32 @@ type FanoutSpec struct {
 	// Zero values mean 1ms delay, infinite rate, default queue.
 	HostLink, EdgeLink, TransitLink, OutsideLink LinkConfig
 
+	// CustomerNet and OutsideNet override the fan-out's address blocks
+	// (defaults 10.64.0.0/10 and 172.16.0.0/12). BuildBackbone stamps
+	// one metro per disjoint block pair; host capacity is validated
+	// against the block size.
+	CustomerNet, OutsideNet netip.Prefix
+	// NamePrefix prefixes every named node ("m3/" makes "m3/border"), so
+	// multiple fan-outs can share a simulator.
+	NamePrefix string
+	// Shards pins the fan-out onto shard ids already declared with
+	// SetShardCount: transit, border, and outside users on Shards[0],
+	// edge subtrees round-robin across the whole list. This is how
+	// BuildBackbone gives each metro its own shard (or few) without the
+	// per-edge shard explosion of ShardSubtrees — cross-shard outboxes
+	// are O(shards²), so a million-host backbone wants dozens of shards,
+	// not thousands. More than one shard requires a positive EdgeLink
+	// delay (the conservative lookahead). Mutually exclusive with
+	// ShardSubtrees.
+	Shards []int
+	// CompactHosts slab-allocates anonymous leaf hosts via
+	// Simulator.AddHostBlock: no per-host name, map entries, or separate
+	// Node/Link allocations. Hosts are then not resolvable by
+	// Simulator.Node/name — use Fanout.Hosts — and per-host state drops
+	// to a few hundred bytes, which is what lets BuildBackbone fit a
+	// million hosts.
+	CompactHosts bool
+
 	// ShardSubtrees partitions the fan-out for the parallel engine:
 	// the transit network and the outside users stay in shard 0, the
 	// border (where the neutralizer runs) gets shard 1, and each edge
@@ -62,7 +88,10 @@ type Fanout struct {
 	Transit *Node
 	Outside []*Node
 	Edges   []*Node
-	Hosts   []*Node
+	// EdgeLinks[e] is the border↔edge e link — where BuildBackbone's
+	// fluid background aggregates attach.
+	EdgeLinks []*Link
+	Hosts     []*Node
 
 	// CustomerNet covers every host address (the supportive ISP's block).
 	CustomerNet netip.Prefix
@@ -70,8 +99,12 @@ type Fanout struct {
 	OutsideNet netip.Prefix
 }
 
-// Fan-out addressing plan: hosts get consecutive addresses in
-// 10.64.0.0/10 (room for ~4M), outside users in 172.16.0.0/12.
+// Default single-fanout addressing plan: hosts get consecutive addresses
+// starting at CustomerNet's base + 1 (default 10.64.0.0/10: capacity
+// 2²²−1 hosts, checked against Spec.Hosts at build time, not implied),
+// outside users likewise in OutsideNet (default 172.16.0.0/12). Multi-
+// metro builds override both per metro; BuildBackbone's carve of the
+// 10.0.0.0/9 space is validated against overlap there.
 var (
 	fanoutCustomerNet = netip.MustParsePrefix("10.64.0.0/10")
 	fanoutOutsideNet  = netip.MustParsePrefix("172.16.0.0/12")
@@ -80,13 +113,16 @@ var (
 )
 
 func addrAt(base netip.Prefix, i int) netip.Addr {
-	v := ipv4ToUint(base.Addr()) + 1 + uint32(i)
-	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+	return uintToIPv4(ipv4ToUint(base.Addr()) + 1 + uint32(i))
 }
 
 func ipv4ToUint(a netip.Addr) uint32 {
 	b := a.As4()
 	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func uintToIPv4(v uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
 }
 
 func defaultLink(c LinkConfig) LinkConfig {
@@ -102,8 +138,16 @@ func (f *Fanout) HostAddr(i int) netip.Addr { return addrAt(f.CustomerNet, i) }
 // OutsideAddr returns the address of outside user i.
 func (f *Fanout) OutsideAddr(i int) netip.Addr { return addrAt(f.OutsideNet, i) }
 
-// BuildFanout stamps the fan-out topology onto sim. Call it on a fresh
-// simulator: it assumes the address plan above is unclaimed.
+// BuildFanout stamps the fan-out topology onto sim. With the default
+// address blocks it assumes the plan above is unclaimed; multi-fanout
+// simulators (BuildBackbone) pass disjoint CustomerNet/OutsideNet blocks
+// and a NamePrefix per metro.
+//
+// Routing is prefix-compressed: the border installs one range route per
+// edge router (the edge's contiguous slice of CustomerNet) and each edge
+// installs a single block route — a flat offset-indexed array of host
+// links — instead of a /32 map entry per customer. Route state per
+// router is O(edges), not O(hosts).
 func BuildFanout(sim *Simulator, spec FanoutSpec) (*Fanout, error) {
 	if spec.Hosts <= 0 {
 		return nil, fmt.Errorf("netem: fanout needs at least 1 host, got %d", spec.Hosts)
@@ -117,34 +161,65 @@ func BuildFanout(sim *Simulator, spec FanoutSpec) (*Fanout, error) {
 	if !spec.Anycast.IsValid() {
 		spec.Anycast = fanoutAnycast
 	}
-	if uint64(spec.Hosts) >= uint64(1)<<(32-uint(fanoutCustomerNet.Bits())) {
-		return nil, fmt.Errorf("netem: %d hosts exceed %v", spec.Hosts, fanoutCustomerNet)
+	if !spec.CustomerNet.IsValid() {
+		spec.CustomerNet = fanoutCustomerNet
+	}
+	if !spec.OutsideNet.IsValid() {
+		spec.OutsideNet = fanoutOutsideNet
+	}
+	if !spec.CustomerNet.Addr().Is4() || !spec.OutsideNet.Addr().Is4() {
+		return nil, fmt.Errorf("netem: fanout address blocks must be IPv4")
+	}
+	if uint64(spec.Hosts) >= uint64(1)<<(32-uint(spec.CustomerNet.Bits())) {
+		return nil, fmt.Errorf("netem: %d hosts exceed %v", spec.Hosts, spec.CustomerNet)
+	}
+	if uint64(spec.Outside) >= uint64(1)<<(32-uint(spec.OutsideNet.Bits())) {
+		return nil, fmt.Errorf("netem: %d outside users exceed %v", spec.Outside, spec.OutsideNet)
+	}
+	if spec.ShardSubtrees && len(spec.Shards) > 0 {
+		return nil, fmt.Errorf("netem: ShardSubtrees and Shards are mutually exclusive")
 	}
 	if spec.ShardSubtrees {
 		if defaultLink(spec.TransitLink).Delay <= 0 || defaultLink(spec.EdgeLink).Delay <= 0 {
 			return nil, fmt.Errorf("netem: ShardSubtrees needs positive TransitLink and EdgeLink delay (the conservative lookahead)")
 		}
 	}
+	if len(spec.Shards) > 1 && defaultLink(spec.EdgeLink).Delay <= 0 {
+		return nil, fmt.Errorf("netem: multi-shard fanout needs positive EdgeLink delay (the conservative lookahead)")
+	}
+	for _, id := range spec.Shards {
+		if id < 0 || id >= sim.ShardCount() {
+			return nil, fmt.Errorf("netem: fanout shard %d outside declared range [0,%d)", id, sim.ShardCount())
+		}
+	}
 
 	f := &Fanout{
 		Sim:         sim,
 		Spec:        spec,
-		CustomerNet: fanoutCustomerNet,
-		OutsideNet:  fanoutOutsideNet,
+		CustomerNet: spec.CustomerNet,
+		OutsideNet:  spec.OutsideNet,
 	}
-	border, err := sim.AddNode("border", "supportive")
+	name := func(base string) string { return spec.NamePrefix + base }
+	border, err := sim.AddNode(name("border"), "supportive")
 	if err != nil {
 		return nil, err
 	}
-	transit, err := sim.AddNode("transit", "transit")
+	transit, err := sim.AddNode(name("transit"), "transit")
 	if err != nil {
 		return nil, err
 	}
 	f.Border, f.Transit = border, transit
 	nEdges := (spec.Hosts + spec.HostsPerEdge - 1) / spec.HostsPerEdge
-	if spec.ShardSubtrees {
+	edgeShard := func(e int) int { return 0 }
+	switch {
+	case spec.ShardSubtrees:
 		sim.SetShardCount(2 + nEdges)
 		border.SetShard(1)
+		edgeShard = func(e int) int { return 2 + e }
+	case len(spec.Shards) > 0:
+		border.SetShard(spec.Shards[0])
+		transit.SetShard(spec.Shards[0])
+		edgeShard = func(e int) int { return spec.Shards[e%len(spec.Shards)] }
 	}
 	upLink := sim.Connect(transit, border, defaultLink(spec.TransitLink))
 	border.AddRoute(defaultRoute, upLink)
@@ -153,9 +228,12 @@ func BuildFanout(sim *Simulator, spec FanoutSpec) (*Fanout, error) {
 	sim.AddAnycast(spec.Anycast, border)
 
 	for o := 0; o < spec.Outside; o++ {
-		out, err := sim.AddNode(fmt.Sprintf("outside%d", o), "outside", f.OutsideAddr(o))
+		out, err := sim.AddNode(name(fmt.Sprintf("outside%d", o)), "outside", f.OutsideAddr(o))
 		if err != nil {
 			return nil, err
+		}
+		if len(spec.Shards) > 0 {
+			out.SetShard(spec.Shards[0])
 		}
 		l := sim.Connect(out, transit, defaultLink(spec.OutsideLink))
 		out.AddRoute(defaultRoute, l)
@@ -163,33 +241,60 @@ func BuildFanout(sim *Simulator, spec FanoutSpec) (*Fanout, error) {
 		f.Outside = append(f.Outside, out)
 	}
 
-	f.Edges = make([]*Node, 0, nEdges)
-	f.Hosts = make([]*Node, 0, spec.Hosts)
-	for e := 0; e < nEdges; e++ {
-		edge, err := sim.AddNode(fmt.Sprintf("edge%d", e), "supportive")
+	var hosts []*Node
+	var linkSlab []Link
+	var dirSlab []linkDir
+	if spec.CompactHosts {
+		hosts, err = sim.AddHostBlock("supportive", f.HostAddr(0), spec.Hosts)
 		if err != nil {
 			return nil, err
 		}
-		if spec.ShardSubtrees {
-			edge.SetShard(2 + e)
+		linkSlab = make([]Link, spec.Hosts)
+		dirSlab = make([]linkDir, 2*spec.Hosts)
+	}
+	hostCfg := defaultLink(spec.HostLink)
+	f.Edges = make([]*Node, 0, nEdges)
+	f.EdgeLinks = make([]*Link, 0, nEdges)
+	f.Hosts = make([]*Node, 0, spec.Hosts)
+	for e := 0; e < nEdges; e++ {
+		edge, err := sim.AddNode(name(fmt.Sprintf("edge%d", e)), "supportive")
+		if err != nil {
+			return nil, err
+		}
+		if sh := edgeShard(e); sh != 0 || len(spec.Shards) > 0 {
+			edge.SetShard(sh)
 		}
 		down := sim.Connect(border, edge, defaultLink(spec.EdgeLink))
 		edge.AddRoute(defaultRoute, down)
 		f.Edges = append(f.Edges, edge)
-		for i := e * spec.HostsPerEdge; i < (e+1)*spec.HostsPerEdge && i < spec.Hosts; i++ {
-			addr := f.HostAddr(i)
-			host, err := sim.AddNode(fmt.Sprintf("host%d", i), "supportive", addr)
-			if err != nil {
-				return nil, err
+		f.EdgeLinks = append(f.EdgeLinks, down)
+		lo, hi := e*spec.HostsPerEdge, min((e+1)*spec.HostsPerEdge, spec.Hosts)
+		hostLinks := make([]*Link, hi-lo)
+		for i := lo; i < hi; i++ {
+			var host *Node
+			var hl *Link
+			if spec.CompactHosts {
+				host = hosts[i]
+				hl = sim.connectInto(&linkSlab[i], &dirSlab[2*i], &dirSlab[2*i+1], edge, host, hostCfg, hostCfg)
+			} else {
+				host, err = sim.AddNode(name(fmt.Sprintf("host%d", i)), "supportive", f.HostAddr(i))
+				if err != nil {
+					return nil, err
+				}
+				hl = sim.Connect(edge, host, hostCfg)
 			}
-			if spec.ShardSubtrees {
-				host.SetShard(2 + e)
+			if sh := edgeShard(e); sh != 0 {
+				host.SetShard(sh)
 			}
-			hl := sim.Connect(edge, host, defaultLink(spec.HostLink))
 			host.AddRoute(defaultRoute, hl)
-			edge.AddRoute(netip.PrefixFrom(addr, 32), hl)
-			border.AddRoute(netip.PrefixFrom(addr, 32), down)
+			hostLinks[i-lo] = hl
 			f.Hosts = append(f.Hosts, host)
+		}
+		if err := edge.AddBlockRoute(f.HostAddr(lo), hostLinks); err != nil {
+			return nil, err
+		}
+		if err := border.AddRangeRoute(f.HostAddr(lo), hi-lo, down); err != nil {
+			return nil, err
 		}
 	}
 	return f, nil

@@ -49,10 +49,46 @@ func TestBuildFanoutRouting(t *testing.T) {
 		t.Fatal("anycast packet did not reach the border")
 	}
 
-	// The border resolves hosts through the indexed FIB: spot-check the
-	// compiled shape (one host route per customer, O(1) lookups).
-	if n := f.Border.RouteCount(); n < 600 {
-		t.Errorf("border has %d routes, want >= 600", n)
+	// The border resolves hosts through prefix-compressed routes: one
+	// range route per edge plus the default — O(edges) state, never
+	// O(hosts).
+	if n := f.Border.RouteCount(); n != len(f.Edges)+1 {
+		t.Errorf("border has %d routes, want %d (one range per edge + default)", n, len(f.Edges)+1)
+	}
+	// Each edge holds its whole customer fan-out as one block route.
+	if n := f.Edges[0].RouteCount(); n != 2 {
+		t.Errorf("edge0 has %d routes, want 2 (host block + default)", n)
+	}
+}
+
+// TestBuildFanoutCompactHosts: the slab-allocated anonymous-host path
+// must route identically to the named path.
+func TestBuildFanoutCompactHosts(t *testing.T) {
+	s := NewSimulator(simStart, 1)
+	f, err := BuildFanout(s, FanoutSpec{Hosts: 300, HostsPerEdge: 128, CompactHosts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Node("host0"); got != nil {
+		t.Fatal("compact hosts must not be name-resolvable")
+	}
+	if got := s.NodeByAddr(f.HostAddr(299)); got != f.Hosts[299] {
+		t.Fatalf("NodeByAddr(%v) = %v, want host 299", f.HostAddr(299), got)
+	}
+	delivered := f.CountDeliveries()
+	for _, i := range []int{0, 127, 128, 299} {
+		if err := f.Outside[0].Send(mkUDP(t, f.OutsideAddr(0), f.HostAddr(i), nil)); err != nil {
+			t.Fatalf("send to host %d: %v", i, err)
+		}
+	}
+	got := false
+	f.Outside[0].SetHandler(func(time.Time, []byte) { got = true })
+	if err := f.Hosts[200].Send(mkUDP(t, f.HostAddr(200), f.OutsideAddr(0), nil)); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if delivered.Total() != 4 || !got {
+		t.Fatalf("delivered %d/4 downstream, upstream=%v", delivered.Total(), got)
 	}
 }
 

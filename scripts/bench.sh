@@ -17,10 +17,13 @@
 # events/sec and packets/sec alongside the data-plane numbers; ObsInc
 # prices one metric increment and TraceOff prices forwarding with delay
 # attribution armed but no recorder — both must stay zero-alloc.
+# BackboneBuild prices continental topology construction (normalized
+# ms/100khosts plus resident B/host) and BackboneEvents the sharded
+# engine on the E13 workload at worker counts 1 and 8.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-DataPath|ProcessBatch|KeySetup$|VanillaForward|CryptoOps|NetemForward|NetemMetro$|NetemMetroObs$|NetemMetroTrace$|NetemMetroParallel|ObsInc$|TraceOff$|DPIFeatureUpdate|DPIClassify|CloakFrame|AuditTrial|AuditReportCodec|SimnetUDPEcho}"
+BENCH="${BENCH:-DataPath|ProcessBatch|KeySetup$|VanillaForward|CryptoOps|NetemForward|NetemMetro$|NetemMetroObs$|NetemMetroTrace$|NetemMetroParallel|ObsInc$|TraceOff$|DPIFeatureUpdate|DPIClassify|CloakFrame|AuditTrial|AuditReportCodec|SimnetUDPEcho|BackboneBuild$|BackboneEvents}"
 BENCHTIME="${BENCHTIME:-5000x}"
 GIT="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
 OUT="${OUT:-BENCH_${GIT}.json}"

@@ -32,7 +32,13 @@
 // attribution armed but no recorder attached) must be zero-alloc
 // (trace_off_zero_alloc), and BenchmarkNetemMetroTrace — the metro run
 // with 1% of flows traced end to end — must also stay within 5% of the
-// untraced run's events/s (trace_overhead_pct).
+// untraced run's events/s (trace_overhead_pct). The continental
+// backbone (PR 10) adds three: BenchmarkBackboneBuild's normalized
+// construction time must stay <= 1000 ms per 100k hosts
+// (backbone_build_ms_per_100k_hosts, the 1M-hosts-in-10s gate) with its
+// resident B/host recorded (backbone_bytes_per_host), and
+// BenchmarkBackboneEvents' 8-worker rate must reach 10M events/s
+// (backbone_events_per_sec) — enforced only on hosts with >= 8 cores.
 package main
 
 import (
@@ -75,6 +81,11 @@ type Bench struct {
 	// RTPerSec carries BenchmarkSimnetUDPEcho's "rtps" metric (blocking
 	// echo round trips per wall second over the simnet bridge).
 	RTPerSec *float64 `json:"rt_per_sec,omitempty"`
+	// MsPer100kHosts and BytesPerHost carry BenchmarkBackboneBuild's
+	// normalized construction time ("ms/100khosts") and resident heap
+	// cost per customer host ("B/host") on the continental backbone.
+	MsPer100kHosts *float64 `json:"ms_per_100k_hosts,omitempty"`
+	BytesPerHost   *float64 `json:"bytes_per_host,omitempty"`
 }
 
 // Report is the BENCH_*.json document.
@@ -160,6 +171,10 @@ func main() {
 				b.FPR = ptr(v)
 			case "rtps":
 				b.RTPerSec = ptr(v)
+			case "ms/100khosts":
+				b.MsPer100kHosts = ptr(v)
+			case "B/host":
+				b.BytesPerHost = ptr(v)
 			}
 		}
 		if b.Kpps == 0 && b.NsPerOp > 0 {
@@ -188,9 +203,10 @@ func ptr(v float64) *float64 { return &v }
 // evalChecks records the acceptance checks for the zero-alloc sharded
 // data plane.
 func evalChecks(rep *Report) {
-	var batch, fwd, metro, metroObs, metroTrace, traceOff, obsInc, dpiClassify, dpiUpdate, cloakFrame, auditTrial, simnetEcho *Bench
+	var batch, fwd, metro, metroObs, metroTrace, traceOff, obsInc, dpiClassify, dpiUpdate, cloakFrame, auditTrial, simnetEcho, bbBuild *Bench
 	rates := map[string]float64{}
 	parRates := map[string]float64{}
+	bbRates := map[string]float64{}
 	for i, b := range rep.Benchmarks {
 		if strings.HasPrefix(b.Name, "BenchmarkProcessBatch/") {
 			batch = &rep.Benchmarks[i]
@@ -238,6 +254,15 @@ func evalChecks(rep *Report) {
 			if i := strings.Index(b.Name, "workers="); i >= 0 {
 				w := strings.SplitN(b.Name[i+len("workers="):], "/", 2)[0]
 				parRates[w] = *b.EventsPerSec
+			}
+		}
+		if b.Name == "BenchmarkBackboneBuild" {
+			bbBuild = &rep.Benchmarks[i]
+		}
+		if strings.HasPrefix(b.Name, "BenchmarkBackboneEvents/") && b.EventsPerSec != nil {
+			if i := strings.Index(b.Name, "workers="); i >= 0 {
+				w := strings.SplitN(b.Name[i+len("workers="):], "/", 2)[0]
+				bbRates[w] = *b.EventsPerSec
 			}
 		}
 	}
@@ -356,6 +381,50 @@ func evalChecks(rep *Report) {
 		rep.Checks["simnet_echo_rtps"] = fmt.Sprintf(
 			"recorded (%.0f blocking UDP echo round trips/s through the simnet bridge)",
 			*simnetEcho.RTPerSec)
+	}
+	// The continental-scale build gate: 1M hosts must build in <= 10s,
+	// i.e. <= 1000 ms per 100k hosts, host-independent enough to enforce
+	// everywhere. The per-host resident heap cost rides along as a
+	// recorded trajectory number.
+	switch {
+	case bbBuild == nil:
+		rep.Checks["backbone_build_ms_per_100k_hosts"] = "not run"
+		rep.Checks["backbone_bytes_per_host"] = "not run"
+	case bbBuild.MsPer100kHosts == nil || *bbBuild.MsPer100kHosts <= 0:
+		rep.Checks["backbone_build_ms_per_100k_hosts"] = "FAIL (ms/100khosts metric missing)"
+	default:
+		if *bbBuild.MsPer100kHosts <= 1000 {
+			rep.Checks["backbone_build_ms_per_100k_hosts"] = fmt.Sprintf(
+				"pass (%.1f ms per 100k hosts, want <= 1000 so 1M hosts build in <= 10s)", *bbBuild.MsPer100kHosts)
+		} else {
+			rep.Checks["backbone_build_ms_per_100k_hosts"] = fmt.Sprintf(
+				"FAIL (%.1f ms per 100k hosts, want <= 1000 so 1M hosts build in <= 10s)", *bbBuild.MsPer100kHosts)
+		}
+		if bbBuild.BytesPerHost != nil && *bbBuild.BytesPerHost > 0 {
+			rep.Checks["backbone_bytes_per_host"] = fmt.Sprintf(
+				"recorded (%.0f resident heap B per customer host on the compact backbone)", *bbBuild.BytesPerHost)
+		} else {
+			rep.Checks["backbone_bytes_per_host"] = "FAIL (B/host metric missing)"
+		}
+	}
+	// The continental event-rate target: >= 10M events/s at 8 workers on
+	// the E13 workload — only meaningful (and only enforced) on hosts
+	// that actually have >= 8 cores; the serial rate is recorded either
+	// way so the trajectory stays comparable across hosts.
+	bb1, bb8 := bbRates["1"], bbRates["8"]
+	switch {
+	case bb1 == 0 || bb8 == 0:
+		rep.Checks["backbone_events_per_sec"] = "not run"
+	case rep.Cores < 8:
+		rep.Checks["backbone_events_per_sec"] = fmt.Sprintf(
+			"recorded (%.0f events/s serial); 10M events/s 8-worker target skipped: host has %d core(s) < 8",
+			bb1, rep.Cores)
+	case bb8 >= 10e6:
+		rep.Checks["backbone_events_per_sec"] = fmt.Sprintf(
+			"pass (%.0f events/s at 8 workers, want >= 10M; %.0f serial)", bb8, bb1)
+	default:
+		rep.Checks["backbone_events_per_sec"] = fmt.Sprintf(
+			"FAIL (%.0f events/s at 8 workers, want >= 10M; %.0f serial)", bb8, bb1)
 	}
 	r1, r4 := rates["1"], rates["4"]
 	switch {
